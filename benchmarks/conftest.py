@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its simulation exactly once per pytest-benchmark
+round (``pedantic`` mode): the interesting numbers are the *simulated*
+metrics (throughput/latency/KB-per-op), which are attached to the
+benchmark's ``extra_info`` and also dumped as JSON under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_figure(figure) -> None:
+    """Persist a FigureResult as JSON for the experiment log."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "name": figure.name,
+        "description": figure.description,
+        "notes": figure.notes,
+        "series": {
+            system: [
+                {
+                    "clients": r.clients,
+                    "throughput_ops": r.throughput_ops,
+                    "mean_latency_ms": r.mean_latency_ms,
+                    "p99_latency_ms": r.p99_latency_ms,
+                    "client_kb_per_op": r.client_kb_per_op,
+                    "completed_ops": r.completed_ops,
+                    "extra": r.extra,
+                }
+                for r in results
+            ]
+            for system, results in figure.series.items()
+        },
+    }
+    slug = figure.name.lower().replace(" ", "_").replace("§", "s")
+    (RESULTS_DIR / f"{slug}.json").write_text(
+        json.dumps(payload, indent=2))
+
+
+def attach_series(benchmark, figure) -> None:
+    """Summarize a figure's series into pytest-benchmark extra_info."""
+    for system, results in figure.series.items():
+        for result in results:
+            key = f"{system}@{result.clients}"
+            benchmark.extra_info[key] = round(result.throughput_ops, 1)
+
+
+@pytest.fixture
+def measure_ms() -> float:
+    """Simulated measurement window; REPRO_FULL widens it."""
+    return 600.0 if os.environ.get("REPRO_FULL") else 300.0

@@ -1,0 +1,31 @@
+"""Figure 10: distributed-barrier latency and client data per enter."""
+
+from conftest import attach_series, save_figure
+
+from repro.bench import client_counts, figure10, print_result
+
+
+def test_figure10_distributed_barrier(benchmark, measure_ms):
+    figure = benchmark.pedantic(
+        figure10, kwargs={"measure_ms": measure_ms}, rounds=1, iterations=1)
+    print_result(figure)
+    save_figure(figure)
+    attach_series(benchmark, figure)
+
+    ref = max(client_counts(minimum=2))
+
+    def point(system, n):
+        return next(r for r in figure.series[system] if r.clients == n)
+
+    # §6.1.3: the extension variants beat their base systems on both
+    # latency and data sent, at every client count.
+    for n in [r.clients for r in figure.series["zk"]]:
+        assert point("ezk", n).mean_latency_ms < point("zk", n).mean_latency_ms
+        assert point("eds", n).mean_latency_ms < point("ds", n).mean_latency_ms
+        assert (point("ezk", n).client_kb_per_op
+                < point("zk", n).client_kb_per_op)
+        assert (point("eds", n).client_kb_per_op
+                < point("ds", n).client_kb_per_op)
+    # BFT request multicast makes DepSpace clients send the most data.
+    assert point("ds", ref).client_kb_per_op == max(
+        point(s, ref).client_kb_per_op for s in ("zk", "ezk", "ds", "eds"))

@@ -1,0 +1,26 @@
+"""Figure 12: leader-election throughput and signaling latency."""
+
+from conftest import attach_series, save_figure
+
+from repro.bench import client_counts, figure12, print_result
+
+
+def test_figure12_leader_election(benchmark, measure_ms):
+    figure = benchmark.pedantic(
+        figure12, kwargs={"measure_ms": measure_ms}, rounds=1, iterations=1)
+    print_result(figure)
+    save_figure(figure)
+    attach_series(benchmark, figure)
+
+    def point(system, n):
+        return next(r for r in figure.series[system] if r.clients == n)
+
+    ref = max(client_counts(minimum=2))
+    # §6.1.4: the extension variants achieve more leader changes per
+    # second and lower signaling latency than their counterparts.
+    assert point("ezk", ref).throughput_ops > point("zk", ref).throughput_ops
+    assert point("eds", ref).throughput_ops > point("ds", ref).throughput_ops
+    assert (point("ezk", ref).extra["signaling_latency_ms"]
+            < point("zk", ref).extra["signaling_latency_ms"])
+    assert (point("eds", ref).extra["signaling_latency_ms"]
+            < point("ds", ref).extra["signaling_latency_ms"])

@@ -1,0 +1,27 @@
+"""Figure 13: impact of the queue extension on regular clients."""
+
+from conftest import attach_series, save_figure
+
+from repro.bench import figure13, print_result
+
+
+def test_figure13_regular_clients(benchmark, measure_ms):
+    figure = benchmark.pedantic(
+        figure13, kwargs={"measure_ms": measure_ms}, rounds=1, iterations=1)
+    print_result(figure)
+    save_figure(figure)
+    attach_series(benchmark, figure)
+
+    for system in ("ezk", "eds"):
+        results = sorted(figure.series[system], key=lambda r: r.clients)
+        lightest, heaviest = results[0], results[-1]
+        # §6.2: regular *write* latency rises with queue throughput...
+        assert (heaviest.extra["regular_write_ms"]
+                > lightest.extra["regular_write_ms"])
+        # ...while regular *read* latency is mainly unaffected (the
+        # read fast path barely overlaps with the write/extension path).
+        read_low = lightest.extra["regular_read_ms"]
+        read_high = heaviest.extra["regular_read_ms"]
+        write_low = lightest.extra["regular_write_ms"]
+        write_high = heaviest.extra["regular_write_ms"]
+        assert (read_high - read_low) < (write_high - write_low)

@@ -1,0 +1,45 @@
+"""Figure 6: shared-counter throughput and latency vs. number of clients."""
+
+from conftest import attach_series, save_figure
+
+from repro.bench import client_counts, figure6, print_result
+
+
+def test_figure6_shared_counter(benchmark, measure_ms):
+    figure = benchmark.pedantic(
+        figure6, kwargs={"measure_ms": measure_ms}, rounds=1, iterations=1)
+    print_result(figure)
+    save_figure(figure)
+    attach_series(benchmark, figure)
+
+    ref = max(client_counts())
+    # The paper's headline shapes: extensions win by an order of
+    # magnitude under contention, and stay flat as clients grow.
+    assert figure.factor("ezk", "zk", ref) > 5.0
+    assert figure.factor("eds", "ds", ref) > 5.0
+
+    def tput(system, n):
+        return next(r.throughput_ops for r in figure.series[system]
+                    if r.clients == n)
+
+    # Traditional counters degrade with contention; extension counters
+    # scale (or saturate flat).
+    assert tput("zk", ref) < tput("zk", 10)
+    assert tput("ezk", ref) >= 0.8 * tput("ezk", 10)
+    # EZK sustains more increments than EDS (BFT costs more), §6.1.1.
+    assert tput("ezk", ref) > tput("eds", ref)
+
+
+def test_figure6_latency_shapes(benchmark, measure_ms):
+    """Latency: ~2 ms (EZK) and ~3 ms (EDS) at 50 clients in the paper."""
+    from repro.bench import run_counter_workload
+
+    def run():
+        return (run_counter_workload("ezk", 50, measure_ms=measure_ms),
+                run_counter_workload("eds", 50, measure_ms=measure_ms))
+
+    ezk, eds = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(ezk.row())
+    print(eds.row())
+    assert 0.5 < ezk.mean_latency_ms < 10.0
+    assert eds.mean_latency_ms > ezk.mean_latency_ms

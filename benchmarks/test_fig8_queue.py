@@ -1,0 +1,33 @@
+"""Figure 8: distributed-queue throughput and client data per element."""
+
+from conftest import attach_series, save_figure
+
+from repro.bench import client_counts, figure8, print_result
+
+
+def test_figure8_distributed_queue(benchmark, measure_ms):
+    figure = benchmark.pedantic(
+        figure8, kwargs={"measure_ms": measure_ms}, rounds=1, iterations=1)
+    print_result(figure)
+    save_figure(figure)
+    attach_series(benchmark, figure)
+
+    ref = max(client_counts())
+    # Paper: 17x (EZK/ZK) and 24x (EDS/DS) at 50 clients.
+    assert figure.factor("ezk", "zk", ref) > 5.0
+    assert figure.factor("eds", "ds", ref) > 5.0
+
+    def point(system, n):
+        return next(r for r in figure.series[system] if r.clients == n)
+
+    # Client cost of traditional removal grows with contention; the
+    # extension variant's cost is independent of it (§6.1.2).
+    assert point("zk", ref).client_kb_per_op > 2 * point("zk", 1).client_kb_per_op
+    ezk_costs = [r.client_kb_per_op for r in figure.series["ezk"]]
+    assert max(ezk_costs) < 2 * min(ezk_costs)
+    # DepSpace clients send much more data than ZooKeeper clients
+    # (request multicast to all 3f+1 replicas).
+    assert (point("ds", ref).client_kb_per_op
+            > 2 * point("zk", ref).client_kb_per_op / 2)
+    assert (point("eds", ref).client_kb_per_op
+            > 2 * point("ezk", ref).client_kb_per_op)

@@ -1,0 +1,24 @@
+"""§6.2: overhead of the extension machinery on regular operations."""
+
+from conftest import save_figure
+
+from repro.bench import overhead_regular_ops, print_result
+
+
+def test_regular_op_overhead(benchmark, measure_ms):
+    figure = benchmark.pedantic(
+        overhead_regular_ops, kwargs={"measure_ms": measure_ms},
+        rounds=1, iterations=1)
+    print_result(figure)
+    save_figure(figure)
+
+    def mean(system, key):
+        return figure.series[system][0].extra[key]
+
+    # Paper: < 0.4% overhead. The simulated request path is identical
+    # for regular clients (the subscription check is the only addition);
+    # allow a few percent of measurement noise.
+    for base, ext in (("zk", "ezk"), ("ds", "eds")):
+        for key in ("regular_read_ms", "regular_write_ms"):
+            ratio = mean(ext, key) / mean(base, key)
+            assert 0.9 < ratio < 1.1, (base, ext, key, ratio)

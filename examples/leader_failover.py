@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Leader election with failure detection (Figure 11 / §6.1.4).
+
+Three application servers compete for leadership through the combined
+operation+event extension: one blocking RPC returns when a server is
+elected; when the leader dies (here: killed without warning), the
+service's own failure detection deletes its liveness object, the event
+extension appoints the oldest survivor, and the survivor's blocked call
+returns — no client-side polling anywhere.
+
+Run:  python examples/leader_failover.py
+"""
+
+from repro.bench import make_coords, make_ensemble, run_all
+from repro.recipes import ExtensionElection
+
+
+def main():
+    ensemble = make_ensemble("ezk", seed=99)
+    coords, raw = make_coords(ensemble, "ezk", 3)
+    elections = [ExtensionElection(c) for c in coords]
+    run_all(ensemble, elections[0].setup(register=True))
+    for election in elections[1:]:
+        run_all(ensemble, election.setup(register=False))
+
+    env = ensemble.env
+    timeline = []
+
+    def app_server(election, name):
+        yield from election.become_leader()
+        timeline.append((env.now, f"{name} is now the leader"))
+
+    for index, election in enumerate(elections):
+        ensemble.env.process(app_server(election, f"app-{index}"))
+    env.run(until=env.now + 50.0)
+
+    leader_index = 0  # app-0 registered first, so it leads
+    print("timeline (simulated ms):")
+    for when, what in timeline:
+        print(f"  t={when:8.2f}  {what}")
+
+    print(f"\nkilling app-{leader_index} without warning "
+          "(no close-session call, no goodbye)...")
+    raw[leader_index].kill()
+
+    # The leader's session expires; the event extension reappoints.
+    env.run(until=env.now + 5000.0)
+    for when, what in timeline[1:]:
+        print(f"  t={when:8.2f}  {what}")
+
+    assert len(timeline) >= 2, "failover must have appointed a new leader"
+    death_to_crown_ms = timeline[1][0] - timeline[0][0]
+    print(f"\nfailover completed; a survivor was crowned "
+          f"{death_to_crown_ms:.0f} ms after the original election "
+          "(bounded by the session timeout).")
+    print("the client-side code was a single blocking call — the paper's "
+          "point about extensions absorbing coordination logic.")
+
+
+if __name__ == "__main__":
+    main()

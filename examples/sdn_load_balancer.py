@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""§7.1 use case: consistent load balancing for a distributed SDN controller.
+
+Several controller nodes assign incoming network flows to backend
+servers. Optimal round-robin assignment requires every controller to
+draw globally unique, consecutive sequence numbers — a shared counter
+on the coordination service, *inside* the flow-setup path.
+
+The paper's argument: with plain ZooKeeper the counter caps the whole
+control plane below ~2k flows/s, while the extension-based counter
+sustains tens of thousands of assignments per second — more than
+published distributed controllers forward.
+
+Run:  python examples/sdn_load_balancer.py
+"""
+
+from repro.bench import make_coords, make_ensemble, run_all
+from repro.recipes import ExtensionSharedCounter, TraditionalSharedCounter
+
+N_CONTROLLERS = 8
+N_BACKENDS = 4
+MEASURE_MS = 250.0
+
+
+class SdnController:
+    """One controller node: assigns each new flow to a backend server."""
+
+    def __init__(self, name, counter, backends):
+        self.name = name
+        self.counter = counter
+        self.backends = backends
+        self.assignments = []
+
+    def handle_flow(self, flow_id):
+        """Flow-setup path: draw a global sequence number, pick a server."""
+        seq = yield from self.counter.increment()
+        backend = self.backends[seq % len(self.backends)]
+        self.assignments.append((flow_id, seq, backend))
+        return backend
+
+
+def drive(kind, recipe_cls, register):
+    ensemble = make_ensemble(kind, seed=42)
+    coords, _raw = make_coords(ensemble, kind, N_CONTROLLERS)
+    counters = [recipe_cls(c) for c in coords]
+    if register:
+        run_all(ensemble, counters[0].setup(register=True))
+        for counter in counters[1:]:
+            run_all(ensemble, counter.setup(register=False))
+    else:
+        run_all(ensemble, counters[0].setup())
+
+    backends = [f"server-{i}" for i in range(N_BACKENDS)]
+    controllers = [
+        SdnController(f"ctrl-{i}", counter, backends)
+        for i, counter in enumerate(counters)
+    ]
+    end = ensemble.env.now + MEASURE_MS
+
+    def flow_source(controller):
+        flow = 0
+        while ensemble.env.now < end:
+            yield from controller.handle_flow(f"{controller.name}/flow{flow}")
+            flow += 1
+
+    for controller in controllers:
+        ensemble.env.process(flow_source(controller))
+    ensemble.env.run(until=end + 50.0)
+
+    all_assignments = [a for c in controllers for a in c.assignments]
+    flows_per_s = len(all_assignments) / (MEASURE_MS / 1000.0)
+
+    # Round-robin optimality: globally consecutive sequence numbers mean
+    # backend loads differ by at most one.
+    per_backend = {b: 0 for b in backends}
+    for _flow, _seq, backend in all_assignments:
+        per_backend[backend] += 1
+    spread = max(per_backend.values()) - min(per_backend.values())
+    sequences = sorted(seq for _f, seq, _b in all_assignments)
+    assert sequences == list(range(1, len(sequences) + 1)), \
+        "sequence numbers must be consecutive and unique"
+    return flows_per_s, per_backend, spread
+
+
+def main():
+    print(f"{N_CONTROLLERS} controller nodes x {N_BACKENDS} backends, "
+          "round-robin via a shared counter\n")
+
+    plain, loads, spread = drive("zk", TraditionalSharedCounter, False)
+    print(f"plain ZooKeeper counter:      {plain:9.0f} flows/s "
+          f"(backend spread {spread})")
+
+    fast, loads, spread = drive("ezk", ExtensionSharedCounter, True)
+    print(f"EZK counter extension:        {fast:9.0f} flows/s "
+          f"(backend spread {spread})")
+    print(f"\nper-backend load with EZK: {loads}")
+    print(f"speedup in the flow-setup path: {fast / plain:.1f}x")
+    print("(the paper: <2k flows/s without extensions vs ~25k with, "
+          "more than published distributed controllers need)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Builders for the four evaluated systems (ZK, EZK, DS, EDS).
+
+The paper's configuration: every system tolerates one faulty server —
+three replicas for (E)ZK, four for (E)DS — and each closed-loop client
+has at most one request outstanding (§6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..depspace import DsEnsemble
+from ..eds import EdsEnsemble
+from ..ezk import EzkEnsemble
+from ..recipes import CoordClient, DsCoordClient, ZkCoordClient
+from ..zk import ZkEnsemble
+
+__all__ = ["SYSTEMS", "EXTENSIBLE", "make_ensemble", "make_coords",
+           "run_all", "client_node_ids"]
+
+SYSTEMS = ("zk", "ezk", "ds", "eds")
+EXTENSIBLE = frozenset({"ezk", "eds"})
+
+
+def make_ensemble(kind: str, seed: int = 11, **kwargs):
+    """Build and start one of the four evaluated systems."""
+    if kind == "zk":
+        ensemble = ZkEnsemble(n_replicas=3, seed=seed, **kwargs)
+    elif kind == "ezk":
+        ensemble = EzkEnsemble(n_replicas=3, seed=seed, **kwargs)
+    elif kind == "ds":
+        ensemble = DsEnsemble(f=1, seed=seed, **kwargs)
+    elif kind == "eds":
+        ensemble = EdsEnsemble(f=1, seed=seed, **kwargs)
+    else:
+        raise ValueError(f"unknown system {kind!r}")
+    ensemble.start()
+    return ensemble
+
+
+def make_coords(ensemble, kind: str, n: int) -> Tuple[List[CoordClient], list]:
+    """``n`` connected abstract clients plus the raw client objects."""
+    raw = [ensemble.client() for _ in range(n)]
+    if kind in ("zk", "ezk"):
+        def connect_all():
+            for client in raw:
+                yield from client.connect()
+
+        proc = ensemble.env.process(connect_all())
+        ensemble.env.run(until=proc)
+        coords: List[CoordClient] = [ZkCoordClient(c) for c in raw]
+    else:
+        coords = [DsCoordClient(c) for c in raw]
+    return coords, raw
+
+
+def client_node_ids(raw_clients) -> List[str]:
+    return [client.node_id for client in raw_clients]
+
+
+def run_all(ensemble, *generators):
+    """Run client processes to completion; returns their results."""
+    procs = [ensemble.env.process(gen) for gen in generators]
+    return [ensemble.env.run(until=proc) for proc in procs]

@@ -1,0 +1,82 @@
+"""Exception taxonomy for the extensible-coordination core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ExtensionError",
+    "ExtensionRejectedError",
+    "ExtensionCrashedError",
+    "BudgetExceededError",
+    "UnknownExtensionError",
+    "NotAuthorizedError",
+    "NoObjectError",
+    "ObjectExistsError",
+    "CoordStateError",
+]
+
+
+class ExtensionError(Exception):
+    """Base class for extension-machinery failures."""
+
+    code = "EXTENSION_ERROR"
+
+
+class ExtensionRejectedError(ExtensionError):
+    """The verifier refused the extension source at registration time.
+
+    Carries the list of violations so the registering client can fix them.
+    """
+
+    code = "EXTENSION_REJECTED"
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        super().__init__("; ".join(self.violations))
+
+
+class ExtensionCrashedError(ExtensionError):
+    """The extension raised while executing inside the sandbox.
+
+    The sandbox contains the crash: buffered state changes are discarded
+    (EZK) or rolled back (EDS) and the invoking client receives this error.
+    """
+
+    code = "EXTENSION_CRASHED"
+
+
+class BudgetExceededError(ExtensionError):
+    """The extension exceeded a sandbox resource budget (state ops,
+    object creations, or interpreter steps)."""
+
+    code = "BUDGET_EXCEEDED"
+
+
+class UnknownExtensionError(ExtensionError):
+    """Reference to an extension name that is not registered."""
+
+    code = "UNKNOWN_EXTENSION"
+
+
+class NotAuthorizedError(ExtensionError):
+    """A client tried to use an extension it neither registered nor
+    acknowledged (§3.6's security rule)."""
+
+    code = "NOT_AUTHORIZED"
+
+
+class CoordStateError(Exception):
+    """Base class for abstract-state errors raised inside extensions."""
+
+    code = "COORD_STATE_ERROR"
+
+
+class NoObjectError(CoordStateError):
+    """The referenced data object does not exist."""
+
+    code = "NO_OBJECT"
+
+
+class ObjectExistsError(CoordStateError):
+    """A data object already exists under that id."""
+
+    code = "OBJECT_EXISTS"

@@ -1,0 +1,97 @@
+"""Extension model: subscriptions and the basic extension interface (§3.3–3.4).
+
+An extension is ⟨pattern, atomic operation sequence⟩: the *pattern* is a
+set of operation and event subscriptions; the *operations* are the body
+of :meth:`Extension.handle_operation` / :meth:`Extension.handle_event`,
+executed atomically at the server side through the ``local`` state proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from .api import EVENT_TYPES, OP_TYPES, AbstractState, EventNotice, OperationRequest
+
+__all__ = ["OperationSubscription", "EventSubscription", "Extension",
+           "match_pattern"]
+
+
+def match_pattern(pattern: str, object_id: str) -> bool:
+    """Object-id pattern match: exact, or prefix with a trailing ``*``.
+
+    ``"/queue/head"`` matches only itself; ``"/ready/*"`` matches every
+    id under ``/ready/`` (and not ``/ready`` itself).
+    """
+    if pattern.endswith("*"):
+        return object_id.startswith(pattern[:-1])
+    return object_id == pattern
+
+
+@dataclass(frozen=True)
+class OperationSubscription:
+    """Matches client operations (op kind × object-id pattern)."""
+
+    op_types: tuple
+    pattern: str
+
+    def __post_init__(self):
+        for op_type in self.op_types:
+            if op_type not in OP_TYPES:
+                raise ValueError(f"unknown op type {op_type!r}")
+
+    def matches(self, request: OperationRequest) -> bool:
+        return (request.op_type in self.op_types
+                and match_pattern(self.pattern, request.object_id))
+
+
+@dataclass(frozen=True)
+class EventSubscription:
+    """Matches state-change events (event kind × object-id pattern)."""
+
+    event_types: tuple
+    pattern: str
+
+    def __post_init__(self):
+        for event_type in self.event_types:
+            if event_type not in EVENT_TYPES:
+                raise ValueError(f"unknown event type {event_type!r}")
+
+    def matches(self, event: EventNotice) -> bool:
+        return (event.event_type in self.event_types
+                and match_pattern(self.pattern, event.object_id))
+
+
+class Extension:
+    """The basic extension interface (the paper's Figure 1).
+
+    Subclasses ship as source code, pass verification, and are
+    instantiated inside the sandbox. They override:
+
+    * :meth:`ops_subscriptions` / :meth:`event_subscriptions` — which
+      operations/events this extension consumes;
+    * :meth:`handle_operation` — runs *instead of* a matched operation;
+      its return value is the client's reply;
+    * :meth:`handle_event` — runs *after* a matching state change.
+    """
+
+    #: Human-readable name; defaults to the class name at registration.
+    name: str = ""
+
+    def ops_subscriptions(self) -> Sequence[OperationSubscription]:
+        return ()
+
+    def event_subscriptions(self) -> Sequence[EventSubscription]:
+        return ()
+
+    def handle_operation(self, request: OperationRequest,
+                         local: AbstractState) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} subscribed to operations but does not "
+            "implement handle_operation")
+
+    def handle_event(self, event: EventNotice,
+                     local: AbstractState) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} subscribed to events but does not "
+            "implement handle_event")

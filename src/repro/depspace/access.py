@@ -1,0 +1,69 @@
+"""Access-control layer of the DepSpace stack.
+
+DepSpace targets untrusted environments, so every replica checks each
+(already ordered) operation against the logical space's ACL before it
+reaches the tuple space. The check is deterministic — same decision at
+every correct replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+__all__ = ["AccessControl", "AccessDeniedError"]
+
+
+class AccessDeniedError(Exception):
+    """The client is not authorized for this operation class."""
+
+    code = "ACCESS_DENIED"
+
+
+#: Operation classes ACLs speak about (DepSpace groups the API this way).
+_OP_CLASS = {
+    "out": "write",
+    "cas": "write",
+    "replace": "write",
+    "renew": "write",
+    "rdp": "read",
+    "rd": "read",
+    "rdall": "read",
+    "inp": "take",
+    "in": "take",
+}
+
+
+@dataclass
+class AccessControl:
+    """Per-space ACL: empty sets mean "everyone may".
+
+    ``readers``/``writers``/``takers`` are allow-lists of client ids;
+    ``denied`` is a global deny-list that wins over everything.
+    """
+
+    readers: Set[str] = field(default_factory=set)
+    writers: Set[str] = field(default_factory=set)
+    takers: Set[str] = field(default_factory=set)
+    denied: Set[str] = field(default_factory=set)
+
+    def check(self, op_name: str, client_id: str) -> None:
+        """Raise :class:`AccessDeniedError` when the op is not allowed."""
+        if client_id in self.denied:
+            raise AccessDeniedError(f"{client_id} is deny-listed")
+        op_class = _OP_CLASS.get(op_name)
+        if op_class is None:
+            raise AccessDeniedError(f"unknown operation {op_name!r}")
+        allow_list = {
+            "read": self.readers,
+            "write": self.writers,
+            "take": self.takers,
+        }[op_class]
+        if allow_list and client_id not in allow_list:
+            raise AccessDeniedError(
+                f"{client_id} may not {op_class} ({op_name})")
+
+    @classmethod
+    def open(cls) -> "AccessControl":
+        """The default wide-open ACL."""
+        return cls()

@@ -1,0 +1,367 @@
+"""PBFT-style total-order broadcast (the BFT-SMaRt stand-in).
+
+DepSpace replicas (``n = 3f + 1``) agree on a single execution order:
+
+* clients multicast requests to **all** replicas (this is what makes
+  DepSpace clients send ~n× more data than ZooKeeper clients in the
+  paper's Figures 8 and 10);
+* the view's **primary** assigns sequence numbers and an agreed
+  timestamp, broadcasting PRE-PREPARE;
+* replicas exchange PREPARE (quorum ``2f`` + the pre-prepare) and then
+  COMMIT (quorum ``2f + 1``), after which the request executes, in
+  sequence order, exactly once per replica (client-level dedup included);
+* every replica replies; clients accept a result once ``f + 1`` replies
+  match (Byzantine answer masking happens at the client).
+
+View changes are simplified: when a replica sees a request sit
+unexecuted past a timeout it votes for view ``v + 1``; once ``2f + 1``
+votes accumulate, the new primary re-proposes everything pending.
+Checkpoint-based garbage collection and the full new-view proof are
+omitted — they do not affect the measured behaviour at simulation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..sim import Environment
+
+__all__ = ["BftConfig", "BftPeer", "BftRequest"]
+
+
+@dataclass
+class BftConfig:
+    request_timeout_ms: float = 400.0
+    sweep_interval_ms: float = 100.0
+
+
+# -- messages -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RequestId:
+    client_id: str
+    seq: int
+
+
+@dataclass
+class BftRequest:
+    """Client request as it travels the ordering protocol."""
+
+    request_id: RequestId
+    op: Any
+
+
+@dataclass
+class PrePrepare:
+    view: int
+    seq: int
+    ts: float
+    request: BftRequest
+
+
+@dataclass
+class Prepare:
+    view: int
+    seq: int
+    request_id: RequestId
+    replica_id: str
+
+
+@dataclass
+class Commit:
+    view: int
+    seq: int
+    request_id: RequestId
+    replica_id: str
+
+
+@dataclass
+class ViewChange:
+    new_view: int
+    last_executed: int
+    replica_id: str
+
+
+@dataclass
+class NewView:
+    view: int
+
+
+@dataclass
+class _Slot:
+    view: int
+    request: Optional[BftRequest] = None
+    ts: float = 0.0
+    prepares: Set[str] = field(default_factory=set)
+    commits: Set[str] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+
+
+class BftPeer:
+    """One replica's endpoint of the ordering protocol."""
+
+    def __init__(self, env: Environment, node_id: str, replica_ids: List[str],
+                 send: Callable[[str, object], None],
+                 execute: Callable[[BftRequest, float], None],
+                 config: Optional[BftConfig] = None):
+        self.env = env
+        self.node_id = node_id
+        self.replica_ids = list(replica_ids)
+        self.n = len(replica_ids)
+        self.f = (self.n - 1) // 3
+        if self.n < 3 * self.f + 1 or self.f < 1:
+            raise ValueError("BFT requires n = 3f + 1 with f >= 1")
+        self._send = send
+        self._execute = execute
+        self.config = config or BftConfig()
+
+        self.view = 0
+        self._next_seq = 0          # primary: next sequence to assign
+        self._exec_seq = 0          # all: last executed sequence
+        self._slots: Dict[int, _Slot] = {}
+        #: requests seen but not yet executed (for re-proposal + timeouts).
+        self._pending: Dict[RequestId, Tuple[BftRequest, float]] = {}
+        #: primary: request ids proposed but not yet executed.
+        self._proposed_ids: Set[RequestId] = set()
+        self._executed_ids: Set[RequestId] = set()
+        self._view_votes: Dict[int, Dict[str, int]] = {}
+        #: server hook: we are missing executions up to seq; fetch state.
+        self.on_gap: Optional[Callable[[int], None]] = None
+        self._alive = True
+        env.process(self._timeout_sweep())
+
+    # -- role ----------------------------------------------------------------
+
+    @property
+    def primary_id(self) -> str:
+        return self.replica_ids[self.view % self.n]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_id == self.node_id
+
+    def crash(self) -> None:
+        self._alive = False
+
+    def recover(self) -> None:
+        self._alive = True
+        self.env.process(self._timeout_sweep())
+
+    # -- client requests ---------------------------------------------------------
+
+    def on_request(self, request: BftRequest) -> None:
+        """A client request arrived at this replica (clients send to all)."""
+        if not self._alive:
+            return
+        if request.request_id in self._executed_ids:
+            return
+        if request.request_id not in self._pending:
+            self._pending[request.request_id] = (request, self.env.now)
+        if self.is_primary:
+            self._propose(request)
+
+    def _propose(self, request: BftRequest) -> None:
+        if request.request_id in self._proposed_ids:
+            return
+        self._proposed_ids.add(request.request_id)
+        self._next_seq += 1
+        seq = self._next_seq
+        msg = PrePrepare(self.view, seq, self.env.now, request)
+        slot = self._slot(seq)
+        assert slot is not None, "primary assigned an already-executed seq"
+        slot.request = request
+        slot.ts = msg.ts
+        slot.prepares.add(self.node_id)   # pre-prepare counts as the
+        for replica in self.replica_ids:  # primary's prepare
+            if replica != self.node_id:
+                self._send(replica, msg)
+
+    # -- protocol messages --------------------------------------------------
+
+    def handle(self, src: str, msg: object) -> bool:
+        """Process an ordering-protocol message; False if not ours."""
+        if not self._alive:
+            return True
+        if isinstance(msg, PrePrepare):
+            self._on_preprepare(src, msg)
+        elif isinstance(msg, Prepare):
+            self._on_prepare(msg)
+        elif isinstance(msg, Commit):
+            self._on_commit(msg)
+        elif isinstance(msg, ViewChange):
+            self._on_view_change(msg)
+        elif isinstance(msg, NewView):
+            self._on_new_view(src, msg)
+        else:
+            return False
+        return True
+
+    def _slot(self, seq: int) -> Optional[_Slot]:
+        if seq <= self._exec_seq:
+            return None  # stale message for an already-executed slot
+        slot = self._slots.get(seq)
+        if slot is None or slot.view < self.view:
+            slot = _Slot(view=self.view)
+            self._slots[seq] = slot
+        return slot
+
+    def _on_preprepare(self, src: str, msg: PrePrepare) -> None:
+        if msg.view != self.view or src != self.primary_id:
+            return
+        if msg.request.request_id in self._executed_ids:
+            return
+        slot = self._slot(msg.seq)
+        if slot is None:
+            return
+        if slot.request is not None:
+            return  # duplicate pre-prepare for this slot
+        slot.request = msg.request
+        slot.ts = msg.ts
+        self._pending.setdefault(msg.request.request_id,
+                                 (msg.request, self.env.now))
+        slot.prepares.add(src)        # the primary's implicit prepare
+        slot.prepares.add(self.node_id)
+        prepare = Prepare(self.view, msg.seq, msg.request.request_id,
+                          self.node_id)
+        for replica in self.replica_ids:
+            if replica != self.node_id:
+                self._send(replica, prepare)
+        self._check_prepared(msg.seq)
+
+    def _on_prepare(self, msg: Prepare) -> None:
+        if msg.view != self.view:
+            return
+        slot = self._slot(msg.seq)
+        if slot is None:
+            return
+        slot.prepares.add(msg.replica_id)
+        self._check_prepared(msg.seq)
+
+    def _check_prepared(self, seq: int) -> None:
+        slot = self._slots.get(seq)
+        if (slot is None or slot.prepared or slot.request is None
+                or len(slot.prepares) < 2 * self.f + 1):
+            return
+        slot.prepared = True
+        slot.commits.add(self.node_id)
+        commit = Commit(self.view, seq, slot.request.request_id, self.node_id)
+        for replica in self.replica_ids:
+            if replica != self.node_id:
+                self._send(replica, commit)
+        self._check_committed(seq)
+
+    def _on_commit(self, msg: Commit) -> None:
+        if msg.view != self.view:
+            return
+        slot = self._slot(msg.seq)
+        if slot is None:
+            return
+        slot.commits.add(msg.replica_id)
+        self._check_committed(msg.seq)
+
+    def _check_committed(self, seq: int) -> None:
+        slot = self._slots.get(seq)
+        if (slot is None or slot.committed or not slot.prepared
+                or len(slot.commits) < 2 * self.f + 1):
+            return
+        slot.committed = True
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while True:
+            slot = self._slots.get(self._exec_seq + 1)
+            if slot is None or not slot.committed or slot.request is None:
+                return
+            self._exec_seq += 1
+            del self._slots[self._exec_seq]
+            request = slot.request
+            self._pending.pop(request.request_id, None)
+            self._proposed_ids.discard(request.request_id)
+            if request.request_id in self._executed_ids:
+                continue  # re-proposed duplicate after a view change
+            self._executed_ids.add(request.request_id)
+            self._execute(request, slot.ts)
+
+    # -- view changes ------------------------------------------------------------
+
+    def _timeout_sweep(self):
+        while self._alive:
+            yield self.env.timeout(self.config.sweep_interval_ms)
+            if not self._alive:
+                return
+            now = self.env.now
+            stuck = [
+                rid for rid, (_req, seen) in self._pending.items()
+                if now - seen > self.config.request_timeout_ms
+            ]
+            if stuck:
+                self._vote_view_change(self.view + 1)
+                # Restart the clocks so we do not spam votes every sweep.
+                for rid in stuck:
+                    request, _ = self._pending[rid]
+                    self._pending[rid] = (request, now)
+
+    def _vote_view_change(self, new_view: int) -> None:
+        if new_view <= self.view:
+            return
+        votes = self._view_votes.setdefault(new_view, {})
+        if self.node_id in votes:
+            return
+        votes[self.node_id] = self._exec_seq
+        msg = ViewChange(new_view, self._exec_seq, self.node_id)
+        for replica in self.replica_ids:
+            if replica != self.node_id:
+                self._send(replica, msg)
+        self._maybe_install_view(new_view)
+
+    def _on_view_change(self, msg: ViewChange) -> None:
+        if msg.new_view <= self.view:
+            return
+        votes = self._view_votes.setdefault(msg.new_view, {})
+        votes[msg.replica_id] = msg.last_executed
+        # Join the view change once f + 1 others want it (PBFT liveness rule).
+        if len(votes) > self.f and self.node_id not in votes:
+            self._vote_view_change(msg.new_view)
+        self._maybe_install_view(msg.new_view)
+
+    def _maybe_install_view(self, new_view: int) -> None:
+        votes = self._view_votes.get(new_view, {})
+        if len(votes) < 2 * self.f + 1 or new_view <= self.view:
+            return
+        self.view = new_view
+        # Drop un-executed slots; their requests are still pending and will
+        # be re-proposed by the new primary.
+        self._slots = {}
+        self._proposed_ids = set()
+        # Sequence numbering resumes after the most-advanced voter so the
+        # new primary never reuses a slot some replica already executed.
+        horizon = max([self._exec_seq, *votes.values()])
+        self._next_seq = horizon
+        if self._exec_seq < horizon:
+            self._skip_to(horizon)
+        if self.is_primary:
+            new_view_msg = NewView(self.view)
+            for replica in self.replica_ids:
+                if replica != self.node_id:
+                    self._send(replica, new_view_msg)
+            for request, _seen in list(self._pending.values()):
+                self._propose(request)
+
+    def _skip_to(self, seq: int) -> None:
+        """We missed executions up to ``seq``; defer to server state sync."""
+        self._exec_seq = seq
+        if self.on_gap is not None:
+            self.on_gap(seq)
+
+    def _on_new_view(self, src: str, msg: NewView) -> None:
+        if msg.view <= self.view:
+            return
+        if self.replica_ids[msg.view % self.n] != src:
+            return
+        self.view = msg.view
+        self._slots = {}
+        self._proposed_ids = set()
+        self._next_seq = self._exec_seq

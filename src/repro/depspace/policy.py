@@ -1,0 +1,111 @@
+"""Policy-enforcement layer of the DepSpace stack.
+
+Above access control, DepSpace evaluates a logical *policy* over each
+operation: a deterministic predicate over (operation, client, argument
+tuple/template, current space). This module provides a small composable
+rule system sufficient for the paper's use cases (e.g. restricting which
+tuple shapes a space accepts, protecting the extension manager's
+dedicated space from regular clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from .space import TupleSpace
+
+__all__ = ["Policy", "PolicyViolationError", "Rule", "deny_ops",
+           "require_arity", "require_field_type", "protect_prefix"]
+
+
+class PolicyViolationError(Exception):
+    """The operation was rejected by the space's policy."""
+
+    code = "POLICY_VIOLATION"
+
+
+#: A rule returns an error string to reject, or None to pass.
+Rule = Callable[[str, str, Optional[Sequence[Any]], TupleSpace],
+                Optional[str]]
+
+
+@dataclass
+class Policy:
+    """An ordered list of rules; the first rejection wins."""
+
+    rules: List[Rule] = field(default_factory=list)
+
+    def check(self, op_name: str, client_id: str,
+              argument: Optional[Sequence[Any]],
+              space: TupleSpace) -> None:
+        for rule in self.rules:
+            verdict = rule(op_name, client_id, argument, space)
+            if verdict is not None:
+                raise PolicyViolationError(verdict)
+
+    @classmethod
+    def allow_all(cls) -> "Policy":
+        return cls()
+
+
+# -- rule combinators ---------------------------------------------------------
+
+def deny_ops(*op_names: str) -> Rule:
+    """Reject the listed operations outright."""
+    banned = frozenset(op_names)
+
+    def rule(op_name, client_id, argument, space):
+        if op_name in banned:
+            return f"operation {op_name!r} is disabled by policy"
+        return None
+
+    return rule
+
+
+def require_arity(arity: int) -> Rule:
+    """All tuples/templates in this space must have exactly ``arity`` fields."""
+
+    def rule(op_name, client_id, argument, space):
+        if argument is not None and len(argument) != arity:
+            return f"this space requires {arity}-field tuples"
+        return None
+
+    return rule
+
+
+def require_field_type(index: int, *types: type) -> Rule:
+    """Constrain the type of concrete field ``index`` on inserts."""
+
+    def rule(op_name, client_id, argument, space):
+        if op_name not in ("out", "cas", "replace") or argument is None:
+            return None
+        if index >= len(argument):
+            return None
+        value = argument[index]
+        if isinstance(value, types) or not isinstance(
+                value, (str, bytes, int, float, bool)):
+            return None
+        return (f"field {index} must be one of "
+                f"{[t.__name__ for t in types]}")
+
+    return rule
+
+
+def protect_prefix(prefix: str, *allowed_clients: str) -> Rule:
+    """Only ``allowed_clients`` may write tuples whose name field starts
+    with ``prefix`` (used to wall off the extension manager's objects)."""
+    allowed = frozenset(allowed_clients)
+
+    def rule(op_name, client_id, argument, space):
+        if op_name not in ("out", "cas", "replace", "inp", "in"):
+            return None
+        if argument is None or not argument:
+            return None
+        name = argument[0]
+        if isinstance(name, str) and name.startswith(prefix):
+            if client_id not in allowed:
+                return f"{prefix!r} objects are protected"
+        return None
+
+    return rule

@@ -1,0 +1,241 @@
+"""The tuple-space layer: DepSpace's storage and synchronization kernel.
+
+Implements the (non-blocking halves of the) DepSpace API:
+
+* ``out(t)`` — insert a tuple,
+* ``rdp(T)`` / ``inp(T)`` — read / take the oldest match, or None,
+* ``rdall(T)`` — read every match (Table 2's ``rdAll``),
+* ``cas(T, t)`` — insert ``t`` iff nothing matches ``T`` (the paper's
+  "test-and-set-like" primitive),
+* ``replace(T, t)`` — atomically swap the oldest match for ``t``.
+
+Blocking (``rd``/``in``) is implemented by the replica on top of this
+layer, since waiter bookkeeping must be coordinated with reply routing.
+Determinism: "oldest match" is insertion order, and insertion order is
+fixed by the BFT total order, so every correct replica returns the same
+answers.
+
+Lookups are indexed on the first field — the object convention
+``(name, payload)`` makes that the discriminating field — with an
+exact-value bucket index plus a sorted name list for ``Prefix``
+templates, so matching cost stays logarithmic as the space grows.
+
+Lease tuples (DepSpace's client-failure detection, Table 2's
+``monitor``): a tuple may be registered with a lease; replicas purge
+expired leases deterministically using the agreed timestamp that the
+ordering protocol attaches to every delivered request.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .tuples import BadTupleError, Prefix, _Any, is_template, matches
+
+__all__ = ["TupleSpace", "LeaseRecord"]
+
+
+@dataclass
+class LeaseRecord:
+    owner: str
+    expires_at: float
+
+
+class TupleSpace:
+    """Insertion-ordered multiset of tuples with template matching."""
+
+    def __init__(self):
+        self._entries: Dict[int, Tuple[Any, ...]] = {}
+        self._next_key = 0
+        self._leases: Dict[int, LeaseRecord] = {}
+        #: exact first field -> insertion-ordered set of keys.
+        self._buckets: Dict[Any, Dict[int, None]] = {}
+        #: sorted (string first field, key) pairs for Prefix queries.
+        self._names: List[Tuple[str, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    # -- index maintenance -------------------------------------------------
+
+    def _index_add(self, key: int, entry: Tuple[Any, ...]) -> None:
+        if not entry:
+            return
+        first = entry[0]
+        try:
+            self._buckets.setdefault(first, {})[key] = None
+        except TypeError:
+            pass  # unhashable first field: full scans will find it
+        if isinstance(first, str):
+            bisect.insort(self._names, (first, key))
+
+    def _index_remove(self, key: int, entry: Tuple[Any, ...]) -> None:
+        if not entry:
+            return
+        first = entry[0]
+        try:
+            bucket = self._buckets.get(first)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._buckets[first]
+        except TypeError:
+            pass
+        if isinstance(first, str):
+            index = bisect.bisect_left(self._names, (first, key))
+            if index < len(self._names) and self._names[index] == (first, key):
+                del self._names[index]
+
+    def _candidates(self, template: Sequence[Any]) -> Iterator[int]:
+        """Keys to test against ``template``, in insertion order."""
+        if not template:
+            return iter(())
+        first = template[0]
+        if isinstance(first, _Any):
+            return iter(self._entries)
+        if isinstance(first, Prefix):
+            low = bisect.bisect_left(self._names, (first.prefix, -1))
+            keys = []
+            for name, key in self._names[low:]:
+                if not name.startswith(first.prefix):
+                    break
+                keys.append(key)
+            keys.sort()
+            return iter(keys)
+        try:
+            bucket = self._buckets.get(first)
+        except TypeError:
+            return iter(self._entries)
+        return iter(bucket) if bucket is not None else iter(())
+
+    # -- core operations ---------------------------------------------------
+
+    def out(self, entry: Sequence[Any], lease: Optional[LeaseRecord] = None) -> None:
+        """Insert a concrete tuple (optionally lease-bound)."""
+        entry = tuple(entry)
+        if is_template(entry):
+            raise BadTupleError("cannot out() a template")
+        if not entry:
+            raise BadTupleError("tuples must have at least one field")
+        key = self._next_key
+        self._next_key += 1
+        self._entries[key] = entry
+        self._index_add(key, entry)
+        if lease is not None:
+            self._leases[key] = lease
+
+    def _find(self, template: Sequence[Any]) -> Optional[int]:
+        for key in self._candidates(template):
+            if matches(template, self._entries[key]):
+                return key
+        return None
+
+    def rdp(self, template: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        """Oldest matching tuple, or None (non-destructive)."""
+        key = self._find(template)
+        return self._entries[key] if key is not None else None
+
+    def _remove(self, key: int) -> Tuple[Any, ...]:
+        entry = self._entries.pop(key)
+        self._index_remove(key, entry)
+        self._leases.pop(key, None)
+        return entry
+
+    def inp(self, template: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        """Remove and return the oldest matching tuple, or None."""
+        key = self._find(template)
+        return self._remove(key) if key is not None else None
+
+    def rdall(self, template: Sequence[Any]) -> List[Tuple[Any, ...]]:
+        """Every matching tuple, oldest first."""
+        return [
+            self._entries[key] for key in self._candidates(template)
+            if matches(template, self._entries[key])
+        ]
+
+    def cas(self, template: Sequence[Any], entry: Sequence[Any]) -> bool:
+        """Insert ``entry`` iff no tuple matches ``template``."""
+        if self.rdp(template) is not None:
+            return False
+        self.out(entry)
+        return True
+
+    def replace(self, template: Sequence[Any],
+                entry: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        """Swap the oldest match for ``entry``; returns the old tuple or None."""
+        old = self.inp(template)
+        if old is None:
+            return None
+        self.out(entry)
+        return old
+
+    # -- leases ----------------------------------------------------------------
+
+    def renew_leases(self, owner: str, new_expiry: float) -> int:
+        """Extend every lease held by ``owner``; returns how many."""
+        count = 0
+        for lease in self._leases.values():
+            if lease.owner == owner:
+                lease.expires_at = new_expiry
+                count += 1
+        return count
+
+    def purge_expired(self, now: float) -> List[Tuple[Any, ...]]:
+        """Remove tuples whose lease expired; returns them (oldest first)."""
+        doomed_keys = [
+            key for key, lease in self._leases.items()
+            if lease.expires_at <= now
+        ]
+        return [self._remove(key) for key in sorted(doomed_keys)]
+
+    def lease_of(self, entry: Sequence[Any]) -> Optional[LeaseRecord]:
+        entry = tuple(entry)
+        for key in self._candidates(entry):
+            if self._entries[key] == entry and key in self._leases:
+                return self._leases[key]
+        return None
+
+    # -- state transfer ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "entries": dict(self._entries),
+            "next_key": self._next_key,
+            "leases": {
+                key: (lease.owner, lease.expires_at)
+                for key, lease in self._leases.items()
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._entries = dict(snapshot["entries"])
+        self._next_key = snapshot["next_key"]
+        self._leases = {
+            key: LeaseRecord(owner, expires)
+            for key, (owner, expires) in snapshot["leases"].items()
+        }
+        self._buckets = {}
+        self._names = []
+        pairs = []
+        for key, entry in self._entries.items():
+            if entry:
+                first = entry[0]
+                try:
+                    self._buckets.setdefault(first, {})[key] = None
+                except TypeError:
+                    pass
+                if isinstance(first, str):
+                    pairs.append((first, key))
+        pairs.sort()
+        self._names = pairs
+
+    def fingerprint(self) -> int:
+        acc = hash(self._next_key)
+        for key, entry in self._entries.items():
+            acc ^= hash((key, entry))
+        return acc

@@ -1,0 +1,87 @@
+"""Tuples and templates for the DepSpace substrate (Linda-style matching).
+
+A *tuple* is an immutable sequence of primitive fields (str, bytes, int,
+float, bool, None). A *template* is a sequence of the same length where
+each position is either an exact value, :data:`ANY` (matches anything),
+or :class:`Prefix` (matches strings with a given prefix — DepSpace's
+``SUB_ANY`` used to emulate hierarchical sub-objects, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence, Tuple
+
+__all__ = ["ANY", "Prefix", "make_tuple", "matches", "is_template",
+           "TupleSpaceError", "BadTupleError"]
+
+_PRIMITIVES = (str, bytes, int, float, bool, type(None))
+
+
+class TupleSpaceError(Exception):
+    """Base error for tuple-space operations."""
+
+    code = "TS_ERROR"
+
+
+class BadTupleError(TupleSpaceError):
+    """Malformed tuple or template."""
+
+    code = "BAD_TUPLE"
+
+
+@dataclass(frozen=True)
+class _Any:
+    """Wildcard: matches any single field. Use the :data:`ANY` singleton."""
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+    def wire_size(self) -> int:
+        return 1
+
+
+#: The wildcard field matcher.
+ANY = _Any()
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """Matches string fields that start with ``prefix`` (SUB_ANY emulation)."""
+
+    prefix: str
+
+    def wire_size(self) -> int:
+        return 2 + len(self.prefix)
+
+
+def make_tuple(*fields: Any) -> Tuple[Any, ...]:
+    """Validate and build a concrete tuple (no wildcards allowed)."""
+    for value in fields:
+        if not isinstance(value, _PRIMITIVES):
+            raise BadTupleError(
+                f"tuple fields must be primitives, got {type(value).__name__}")
+    return tuple(fields)
+
+
+def is_template(fields: Sequence[Any]) -> bool:
+    """True if any field is a matcher (so this cannot be out()-ed)."""
+    return any(isinstance(f, (_Any, Prefix)) for f in fields)
+
+
+def _field_matches(pattern: Any, value: Any) -> bool:
+    if isinstance(pattern, _Any):
+        return True
+    if isinstance(pattern, Prefix):
+        return isinstance(value, str) and value.startswith(pattern.prefix)
+    if isinstance(pattern, bool) or isinstance(value, bool):
+        # bool is an int subclass; require exact type so 1 != True.
+        return type(pattern) is type(value) and pattern == value
+    return pattern == value
+
+
+def matches(template: Sequence[Any], candidate: Sequence[Any]) -> bool:
+    """True when ``candidate`` satisfies ``template`` position-wise."""
+    if len(template) != len(candidate):
+        return False
+    return all(_field_matches(p, v) for p, v in zip(template, candidate))

@@ -1,0 +1,42 @@
+"""EDS client library: extension lifecycle via the dedicated _em space."""
+
+from __future__ import annotations
+
+from ..depspace.client import DsClient
+from ..depspace.tuples import ANY
+from .integration import EM_SPACE
+
+__all__ = ["EdsClient"]
+
+
+class EdsClient(DsClient):
+    """DepSpace client + the convenience methods of §5.2.2."""
+
+    def register_extension(self, name: str, source: str):
+        """Register an extension (tuple insert into the _em space).
+
+        Raises :class:`~repro.core.errors.ExtensionRejectedError` when
+        the replicas' verifiers refuse the code.
+        """
+        value = yield from self._call_em_out(("ext", name, source))
+        return value
+
+    def acknowledge_extension(self, name: str):
+        """Opt in to an extension registered by another client (§3.6)."""
+        value = yield from self._call_em_out(("ack", name))
+        return value
+
+    def deregister_extension(self, name: str):
+        """Remove an extension (tuple take from the _em space)."""
+        value = yield from self.inp("ext", name, ANY, space=EM_SPACE)
+        return value
+
+    def _call_em_out(self, entry):
+        from ..depspace.protocol import OutOp
+        value = yield from self._call(OutOp(tuple(entry), space=EM_SPACE))
+        return value
+
+    def ensure_lease_renewal(self, lease_ms: float | None = None) -> None:
+        """Start renewing leases created on this client's behalf (e.g. by
+        a monitor() call inside an extension)."""
+        self._ensure_renewal("main", lease_ms or self.lease_ms)

@@ -1,0 +1,18 @@
+"""EXTENSIBLE ZOOKEEPER (EZK): the paper's §5.1 prototype.
+
+The crash-tolerant ZooKeeper substrate plus an extension manager hooked
+into the preprocessor stage (operation extensions become atomic
+multi-transactions) and the watch path (event extensions run at the
+primary and may suppress original client notifications).
+"""
+
+from .client import EzkClient
+from .ensemble import EzkEnsemble
+from .integration import (EM_ROOT, EzkBinding, describe_zk_op,
+                          pack_registration, unpack_registration)
+from .state_proxy import ZkBufferedState
+
+__all__ = [
+    "EzkClient", "EzkEnsemble", "EzkBinding", "ZkBufferedState",
+    "EM_ROOT", "describe_zk_op", "pack_registration", "unpack_registration",
+]

@@ -1,0 +1,48 @@
+"""EZK client library: the two extra methods of §5.1.2.
+
+Registration and deregistration map onto *standard* ZooKeeper update
+operations on the extension manager's data object — no API change.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ExtensionRejectedError
+from ..zk.client import ZkClient
+from ..zk.errors import ZkError
+from .integration import EM_ROOT, _ACK_PREFIX
+
+__all__ = ["EzkClient"]
+
+
+class EzkClient(ZkClient):
+    """ZooKeeper client + extension lifecycle helpers."""
+
+    def register_extension(self, name: str, source: str):
+        """Register an extension (create of ``/em/<name>`` carrying the code).
+
+        Raises :class:`ExtensionRejectedError` when the server-side
+        verifier refuses the code.
+        """
+        try:
+            path = yield from self.create(f"{EM_ROOT}/{name}",
+                                          source.encode("utf-8"))
+        except ZkError as exc:
+            if exc.code == ExtensionRejectedError.code:
+                raise ExtensionRejectedError([str(exc)]) from exc
+            raise
+        return path
+
+    def acknowledge_extension(self, name: str):
+        """Opt in to an extension registered by another client (§3.6)."""
+        path = yield from self.create(
+            f"{EM_ROOT}/{name}/{_ACK_PREFIX}{self.client_id}")
+        return path
+
+    def deregister_extension(self, name: str):
+        """Remove an extension (standard deletes of its data objects)."""
+        base = f"{EM_ROOT}/{name}"
+        children = yield from self.get_children(base)
+        for child in children:
+            yield from self.delete(f"{base}/{child}")
+        yield from self.delete(base)
+        return True

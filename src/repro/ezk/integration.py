@@ -1,0 +1,248 @@
+"""EXTENSIBLE ZOOKEEPER: wiring the extension manager into the replica.
+
+Mirrors §5.1.2 exactly:
+
+* the extension manager intercepts requests at the **preprocessor
+  stage** (``ZkServer.op_interceptor``) and redirects matches to
+  extensions; the recorded write-set becomes one multi-transaction that
+  travels the unchanged Zab pipeline, with the extension's result
+  piggybacked for the final processor to hand to the client;
+* **reads that match an extension** are routed to the leader like
+  updates (``ZkServer.extension_router``) instead of taking the local
+  fast path;
+* **event extensions** run at the primary when a watch-relevant state
+  change applies; the original client notification is suppressed at the
+  replica holding the watch when a matching acknowledged event
+  extension exists;
+* **registration** uses the standard API: ``create("/em/<name>", code)``.
+  The leader verifies the code at prep time (a rejected extension aborts
+  before anything is proposed); the committed create then registers the
+  extension deterministically at every replica. Acknowledgement is a
+  create of ``/em/<name>/ack-<client>``; deregistration deletes the
+  extension's data object. ``/em``'s children are the index object that
+  recovery reads (§3.8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core import (EventNotice, ExtensionError, ExtensionManager,
+                    OperationRequest, SandboxLimits, VerifierConfig,
+                    verify_source)
+from ..zk.errors import ZkError
+from ..zk.server import InterceptResult, StateEvent, ZkServer
+from ..zk.txn import (CreateOp, CreateTxn, DeleteOp, ExistsOp, GetChildrenOp,
+                      GetDataOp, MultiTxn, Op, RequestMeta, SetDataOp)
+from ..zk.watches import EventType, WatchEvent
+from .state_proxy import ZkBufferedState
+
+__all__ = ["EzkBinding", "EM_ROOT", "describe_zk_op", "pack_registration",
+           "unpack_registration"]
+
+EM_ROOT = "/em"
+_ACK_PREFIX = "ack-"
+
+
+def describe_zk_op(op: Op, client_id: str) -> Optional[OperationRequest]:
+    """Normalize a ZooKeeper operation for subscription matching."""
+    if isinstance(op, GetDataOp):
+        return OperationRequest("read", op.path, client_id)
+    if isinstance(op, SetDataOp):
+        return OperationRequest("update", op.path, client_id, op.data,
+                                {"version": op.version})
+    if isinstance(op, CreateOp):
+        return OperationRequest("create", op.path, client_id, op.data,
+                                {"ephemeral": op.ephemeral,
+                                 "sequential": op.sequential})
+    if isinstance(op, DeleteOp):
+        return OperationRequest("delete", op.path, client_id,
+                                params={"version": op.version})
+    if isinstance(op, GetChildrenOp):
+        return OperationRequest("sub_objects", op.path, client_id)
+    if isinstance(op, ExistsOp):
+        kind = "block" if op.watch else "exists"
+        return OperationRequest(kind, op.path, client_id)
+    return None
+
+
+def pack_registration(owner: str, source: str) -> bytes:
+    """Encode (owner, source) into the extension data object's payload."""
+    return f"{owner}\n{source}".encode("utf-8")
+
+
+def unpack_registration(data: bytes) -> Tuple[str, str]:
+    owner, _, source = data.decode("utf-8").partition("\n")
+    return owner, source
+
+
+def _event_notice(event_type: EventType, path: str,
+                  data: bytes = b"") -> Optional[EventNotice]:
+    mapping = {
+        EventType.NODE_CREATED: "created",
+        EventType.NODE_DELETED: "deleted",
+        EventType.NODE_DATA_CHANGED: "changed",
+    }
+    kind = mapping.get(event_type)
+    if kind is None:
+        return None
+    return EventNotice(kind, path, data)
+
+
+def _as_zk_error(exc: ExtensionError) -> ZkError:
+    error = ZkError(str(exc))
+    error.code = exc.code
+    return error
+
+
+class EzkBinding:
+    """Installs an :class:`ExtensionManager` into one ZkServer replica."""
+
+    def __init__(self, server: ZkServer,
+                 verifier_config: Optional[VerifierConfig] = None,
+                 limits: Optional[SandboxLimits] = None,
+                 helpers: Optional[dict] = None):
+        # EZK is passively replicated: extensions execute only at the
+        # primary, so helpers may be nondeterministic (§4.1.1) — e.g.
+        # a wall-clock. EDS must not install such helpers.
+        self.server = server
+        self.manager = ExtensionManager(verifier_config, limits, helpers)
+        server.extension_router = self._route
+        server.op_interceptor = self._intercept
+        server.event_hook = self._on_events
+        server.notification_filter = self._suppress_notification
+        server.on_recover = lambda _s: self.rebuild()
+
+    # -- routing (connected replica) ------------------------------------------
+
+    def _route(self, session_id: int, op: Op) -> bool:
+        """True when this (possibly read) op must go to the leader."""
+        request = describe_zk_op(op, str(session_id))
+        if request is None:
+            return False
+        return self.manager.match_operation(request) is not None
+
+    # -- prep-stage interception (leader) -----------------------------------
+
+    def _intercept(self, meta: RequestMeta, op: Op,
+                   server: ZkServer) -> Optional[InterceptResult]:
+        registration = self._intercept_registration(meta, op)
+        if registration is not None:
+            return registration
+
+        client_id = str(meta.session_id)
+        request = describe_zk_op(op, client_id)
+        if request is None:
+            return None
+        record = self.manager.match_operation(request)
+        if record is None:
+            return None
+
+        proxy = ZkBufferedState(server._spec_tree, now=server.env.now)
+        try:
+            result = self.manager.execute_operation(record, request, proxy)
+        except ExtensionError as exc:
+            # Crash containment: the overlay is discarded, the client
+            # gets the error, the service state is untouched.
+            raise _as_zk_error(exc) from exc
+        return InterceptResult(txn=proxy.to_multi_txn(result), result=result,
+                               block_path=proxy.block_path)
+
+    def _intercept_registration(self, meta: RequestMeta,
+                                op: Op) -> Optional[InterceptResult]:
+        """Verify-and-rewrite ``create("/em/<name>", code)`` at prep time."""
+        if not isinstance(op, CreateOp):
+            return None
+        if not op.path.startswith(EM_ROOT + "/"):
+            return None
+        relative = op.path[len(EM_ROOT) + 1:]
+        if "/" in relative:
+            return None  # an ack child: let the normal create proceed
+        source = op.data.decode("utf-8")
+        try:
+            verify_source(source, self.manager.verifier_config)
+        except ExtensionError as exc:
+            raise _as_zk_error(exc) from exc
+        owner = str(meta.session_id)
+        packed = pack_registration(owner, source)
+        txn = MultiTxn([CreateTxn(op.path, packed, None)],
+                       result_payload=op.path, payload_set=True)
+        return InterceptResult(txn=txn, result=op.path)
+
+    # -- apply-stage hooks (every replica) ------------------------------------
+
+    def _on_events(self, events: List[StateEvent], server: ZkServer) -> None:
+        for event in events:
+            if event.path.startswith(EM_ROOT + "/"):
+                self._handle_em_event(event)
+                continue
+            notice = _event_notice(event.event_type, event.path, event.data)
+            if notice is None:
+                continue
+            if server.is_leader:
+                self._run_event_extensions(notice, server)
+
+    def _run_event_extensions(self, notice: EventNotice,
+                              server: ZkServer) -> None:
+        """§5.1.1 / §6.3: in EZK, extensions execute only at the primary,
+        which then distributes the resulting state modifications."""
+        for record in self.manager.match_events(notice):
+            proxy = ZkBufferedState(server._spec_tree, now=server.env.now)
+            try:
+                self.manager.execute_event(record, notice, proxy)
+            except ExtensionError:
+                continue  # contained: the overlay is discarded
+            txn = proxy.to_multi_txn()
+            if txn.txns:
+                server._apply_to_spec(txn)
+                server.zab.propose(txn, None)
+
+    def _handle_em_event(self, event: StateEvent) -> None:
+        relative = event.path[len(EM_ROOT) + 1:]
+        parts = relative.split("/")
+        if len(parts) == 1:
+            name = parts[0]
+            if event.event_type is EventType.NODE_CREATED:
+                owner, source = unpack_registration(event.data)
+                try:
+                    self.manager.register(name, source, owner)
+                except ExtensionError:
+                    # Prep already verified; a failure here would mean
+                    # nondeterministic verification — refuse the cache
+                    # entry but keep the replica alive.
+                    pass
+            elif event.event_type is EventType.NODE_DELETED:
+                self.manager.deregister(name)
+        elif len(parts) == 2 and parts[1].startswith(_ACK_PREFIX):
+            name, client_id = parts[0], parts[1][len(_ACK_PREFIX):]
+            if event.event_type is EventType.NODE_CREATED:
+                try:
+                    self.manager.acknowledge(name, client_id)
+                except ExtensionError:
+                    pass
+
+    def _suppress_notification(self, session_id: int,
+                               event: WatchEvent) -> bool:
+        notice = _event_notice(event.event_type, event.path)
+        if notice is None:
+            return False
+        return self.manager.suppresses_notification(str(session_id), notice)
+
+    # -- recovery (§3.8) --------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Reload the registry from the /em index in the local tree."""
+        tree = self.server.tree
+        if EM_ROOT not in tree:
+            return
+        records = []
+        for name in tree.get_children(EM_ROOT):
+            data, _stat = tree.get_data(f"{EM_ROOT}/{name}")
+            owner, source = unpack_registration(data)
+            acked = [
+                child[len(_ACK_PREFIX):]
+                for child in tree.get_children(f"{EM_ROOT}/{name}")
+                if child.startswith(_ACK_PREFIX)
+            ]
+            records.append((name, source, owner, acked))
+        self.manager.reload(records)

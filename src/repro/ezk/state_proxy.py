@@ -1,0 +1,136 @@
+"""EZK's buffered state proxy: extensions run against a tree overlay.
+
+The paper's §5.1.2: while an operation extension executes at the
+leader's preprocessor stage, the state proxy records all modifications;
+afterwards the extension manager emits one **multi-transaction** that
+flows through the unchanged Zab pipeline. Reads see the extension's own
+writes (the overlay), the authoritative tree is untouched until commit,
+and a crash simply discards the overlay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.api import AbstractState, ObjectRecord
+from ..core.errors import CoordStateError, NoObjectError, ObjectExistsError
+from ..zk.data_tree import DataTree
+from ..zk.errors import (BadVersionError, NodeExistsError, NoNodeError,
+                         ZkError)
+from ..zk.overlay import TreeOverlay
+from ..zk.txn import MultiTxn, Txn
+
+__all__ = ["ZkBufferedState"]
+
+#: Overlay-created nodes sort after every committed node ("youngest").
+_PENDING_SEQ_BASE = 1 << 62
+
+
+class ZkBufferedState(AbstractState):
+    """AbstractState over a :class:`TreeOverlay` of the leader's spec tree."""
+
+    def __init__(self, base: DataTree, now: float = 0.0):
+        self.overlay = TreeOverlay(base)
+        self._now = now
+        self._pending_order: Dict[str, int] = {}
+        self.block_path: Optional[str] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _seq_of(self, path: str, czxid: int) -> int:
+        if czxid:
+            return czxid
+        # Created inside this extension invocation: younger than anything
+        # committed, ordered among themselves by creation order.
+        return _PENDING_SEQ_BASE + self._pending_order.get(path, 0)
+
+    def to_multi_txn(self, result=None) -> MultiTxn:
+        """The recorded write-set as one atomic multi-transaction."""
+        return MultiTxn(list(self.overlay.txns), result_payload=result,
+                        payload_set=True)
+
+    # -- AbstractState -------------------------------------------------------
+
+    def create(self, object_id: str, data: bytes = b"") -> str:
+        try:
+            actual = self.overlay.create(object_id, data, now=self._now)
+        except NodeExistsError as exc:
+            raise ObjectExistsError(str(exc)) from exc
+        except NoNodeError as exc:
+            raise NoObjectError(str(exc)) from exc
+        self._pending_order[actual] = len(self._pending_order)
+        return actual
+
+    def delete(self, object_id: str) -> None:
+        try:
+            self.overlay.delete(object_id)
+        except NoNodeError as exc:
+            raise NoObjectError(str(exc)) from exc
+        except ZkError as exc:
+            raise CoordStateError(str(exc)) from exc
+
+    def read(self, object_id: str) -> bytes:
+        try:
+            data, _stat = self.overlay.get_data(object_id)
+        except NoNodeError as exc:
+            raise NoObjectError(str(exc)) from exc
+        return data
+
+    def exists(self, object_id: str) -> bool:
+        return self.overlay.exists(object_id) is not None
+
+    def update(self, object_id: str, data: bytes) -> None:
+        try:
+            self.overlay.set_data(object_id, data)
+        except NoNodeError as exc:
+            raise NoObjectError(str(exc)) from exc
+
+    def cas(self, object_id: str, expected: bytes, new: bytes) -> bool:
+        try:
+            data, stat = self.overlay.get_data(object_id)
+            if data != expected:
+                return False
+            self.overlay.set_data(object_id, new, version=stat.version)
+        except NoNodeError as exc:
+            raise NoObjectError(str(exc)) from exc
+        except BadVersionError:
+            return False
+        return True
+
+    def sub_objects(self, object_id: str) -> List[ObjectRecord]:
+        base = object_id.rstrip("/") or "/"
+        try:
+            names = self.overlay.get_children(base)
+        except NoNodeError as exc:
+            raise NoObjectError(str(exc)) from exc
+        records = []
+        for name in names:
+            child = base + "/" + name if base != "/" else "/" + name
+            data, stat = self.overlay.get_data(child)
+            records.append(
+                ObjectRecord(child, data, self._seq_of(child, stat.czxid)))
+        records.sort(key=lambda r: (r.seq, r.object_id))
+        return records
+
+    def block(self, object_id: str) -> None:
+        if self.block_path is not None:
+            raise CoordStateError(
+                "an extension may block on at most one object per invocation")
+        self.block_path = object_id
+
+    def monitor(self, client_id: str, object_id: str,
+                data: bytes = b"") -> None:
+        try:
+            session_id = int(client_id)
+        except ValueError as exc:
+            raise CoordStateError(
+                f"client id is not a session id: {client_id!r}") from exc
+        try:
+            actual = self.overlay.create(object_id, data,
+                                         ephemeral_owner=session_id,
+                                         now=self._now)
+        except NodeExistsError as exc:
+            raise ObjectExistsError(str(exc)) from exc
+        except NoNodeError as exc:
+            raise NoObjectError(str(exc)) from exc
+        self._pending_order[actual] = len(self._pending_order)

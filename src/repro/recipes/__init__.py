@@ -1,0 +1,36 @@
+"""Coordination recipes (§6): traditional vs. extension-based.
+
+Each recipe exists in two variants with the same surface:
+
+* the **traditional** implementation composes multiple RPCs against the
+  fixed coordination kernel (the Curator-style approach the paper
+  benchmarks as the baseline);
+* the **extension-based** implementation ships a verified extension to
+  the servers and performs each operation in a single RPC.
+
+Recipes are written against the abstract API of Table 2
+(:class:`~repro.recipes.coordination.CoordClient`); adapters map it to
+ZooKeeper (:class:`~repro.recipes.zk_adapter.ZkCoordClient`) and
+DepSpace (:class:`~repro.recipes.ds_adapter.DsCoordClient`).
+"""
+
+from .barrier import ExtensionBarrier, TraditionalBarrier
+from .coordination import CoordClient, ObjectRecord
+from .counter import ExtensionSharedCounter, TraditionalSharedCounter
+from .ds_adapter import DsCoordClient
+from .election import ExtensionElection, TraditionalElection
+from .extensions import (BARRIER_EXT, COUNTER_EXT, ELECTION_EXT, QUEUE_EXT,
+                         load_extension_source)
+from .queue import ExtensionQueue, TraditionalQueue
+from .util import ensure_object
+from .zk_adapter import ZkCoordClient
+
+__all__ = [
+    "CoordClient", "ObjectRecord", "ZkCoordClient", "DsCoordClient",
+    "TraditionalSharedCounter", "ExtensionSharedCounter",
+    "TraditionalQueue", "ExtensionQueue",
+    "TraditionalBarrier", "ExtensionBarrier",
+    "TraditionalElection", "ExtensionElection",
+    "COUNTER_EXT", "QUEUE_EXT", "BARRIER_EXT", "ELECTION_EXT",
+    "load_extension_source", "ensure_object",
+]

@@ -1,0 +1,94 @@
+"""The abstract coordination-service client API of Table 2.
+
+Recipes (shared counter, distributed queue, barrier, leader election)
+are written once against this interface; per-service adapters map it to
+ZooKeeper and DepSpace operations exactly as Table 2 specifies. All
+methods are generators (simulation processes): call them with
+``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..core.api import ObjectRecord
+
+__all__ = ["CoordClient", "ObjectRecord"]
+
+
+class CoordClient:
+    """Abstract client-side view of a coordination service (Table 2)."""
+
+    #: The paper's "client id" (used to name per-client objects).
+    client_id: str
+
+    def create(self, object_id: str, data: bytes = b""):
+        """Create data object ``object_id``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator
+
+    def delete(self, object_id: str):
+        """Delete ``object_id``; returns True on success, False when the
+        object was already gone (the recipes' race signal)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def read(self, object_id: str):
+        """Content of ``object_id`` — or, when an operation extension
+        consumes the read, the extension's result (§3.7)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def update(self, object_id: str, data: bytes):
+        """Overwrite the content of ``object_id``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def cas(self, object_id: str, expected: bytes, new: bytes):
+        """Conditional update; returns True when the swap happened.
+
+        ZooKeeper realizes this with the version observed by this
+        client's last ``read`` of the object; DepSpace with a content
+        ``replace`` (Table 2).
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def sub_objects(self, object_id: str, with_data: bool = True):
+        """Records of all sub-objects of ``object_id``, oldest first.
+
+        ``with_data=False`` skips content fetches where the backend
+        charges per-object reads (Table 2's footnote on step 2).
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def block(self, object_id: str):
+        """Wait until ``object_id`` exists."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def monitor(self, object_id: str, data: bytes = b""):
+        """Create ``object_id`` bound to *this client's* liveness: the
+        service deletes it when the client terminates or fails."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def wait_deletion(self, object_id: str):
+        """Wait until ``object_id`` is deleted (the realization of the
+        recipes' objectDeletionEvent handler: watches on ZooKeeper,
+        polling on DepSpace)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- extension lifecycle (no-ops on non-extensible services) ---------------
+
+    def register_extension(self, name: str, source: str):
+        """Register a server-side extension (extensible services only)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def acknowledge_extension(self, name: str):
+        """Opt in to an extension registered by another client."""
+        raise NotImplementedError
+        yield  # pragma: no cover

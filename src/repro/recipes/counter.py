@@ -1,0 +1,80 @@
+"""Shared counter recipes (Figure 5).
+
+The traditional variant is the Curator-style read + conditional-write
+retry loop: under contention, most cas attempts fail and the client
+retries, burning RPCs. The extension variant issues one RPC that the
+server-side :data:`~repro.recipes.extensions.COUNTER_EXT` turns into an
+atomic read-modify-write.
+"""
+
+from __future__ import annotations
+
+from .coordination import CoordClient
+from .extensions import COUNTER_EXT
+from .util import ensure_object
+
+__all__ = ["TraditionalSharedCounter", "ExtensionSharedCounter"]
+
+COUNTER_PATH = "/ctr"
+TRIGGER_PATH = "/ctr-increment"
+
+
+class TraditionalSharedCounter:
+    """Figure 5, top: read + cas, retried until the swap lands."""
+
+    def __init__(self, coord: CoordClient):
+        self.coord = coord
+        #: retry statistics for the benchmarks (attempts per success).
+        self.attempts = 0
+        self.successes = 0
+
+    def setup(self):
+        """Create the counter object (run once, by any client)."""
+        yield from ensure_object(self.coord, COUNTER_PATH, b"0")
+
+    def increment(self):
+        """Atomically add one; returns the new value."""
+        while True:
+            self.attempts += 1
+            data = yield from self.coord.read(COUNTER_PATH)
+            value = int(data)
+            swapped = yield from self.coord.cas(
+                COUNTER_PATH, data, str(value + 1).encode())
+            if swapped:
+                self.successes += 1
+                return value + 1
+
+    def read(self):
+        data = yield from self.coord.read(COUNTER_PATH)
+        return int(data)
+
+
+class ExtensionSharedCounter:
+    """Figure 5, bottom: one RPC to the extension's trigger object."""
+
+    EXTENSION_NAME = "ctr-increment"
+
+    def __init__(self, coord: CoordClient):
+        self.coord = coord
+
+    def setup(self, register: bool = True):
+        """Create the counter and register (or acknowledge) the extension.
+
+        The first client passes ``register=True``; subsequent clients
+        acknowledge the existing registration (§3.6).
+        """
+        if register:
+            yield from ensure_object(self.coord, COUNTER_PATH, b"0")
+            yield from self.coord.register_extension(
+                self.EXTENSION_NAME, COUNTER_EXT)
+        else:
+            yield from self.coord.acknowledge_extension(self.EXTENSION_NAME)
+
+    def increment(self):
+        """Atomically add one; returns the new value (single RPC)."""
+        value = yield from self.coord.read(TRIGGER_PATH)
+        return value
+
+    def read(self):
+        data = yield from self.coord.read(COUNTER_PATH)
+        return int(data)

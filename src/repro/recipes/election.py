@@ -1,0 +1,109 @@
+"""Leader-election recipes (Figure 11).
+
+Traditional clients monitor themselves into ``/leader/<id>``, rank all
+registered clients by creation order, and — when not elected — wait for
+the current leader's object to disappear before re-ranking: one extra
+remote round after every leader change (T15), which is exactly the
+signaling latency the extension variant eliminates.
+
+The extension variant is the paper's combined operation + event
+extension (§6.1.4): one blocking call returns when this client *is*
+the leader; the event half reappoints on the death of any client.
+"""
+
+from __future__ import annotations
+
+from .coordination import CoordClient
+from .extensions import ELECTION_EXT
+from .util import ensure_object
+
+__all__ = ["TraditionalElection", "ExtensionElection"]
+
+LEADER_ROOT = "/leader"
+CLIENTS_ROOT = "/clients"
+
+
+class TraditionalElection:
+    """Figure 11, left: monitor + rank + wait-for-deletion loop.
+
+    Id objects are creation-ordered, never-reused names minted by
+    ``monitor`` (sequential ephemerals on ZooKeeper): ranking needs one
+    listing without per-object reads, and stale follower reads cannot
+    make a client wait on a *recreated* object (which would deadlock the
+    rotation).
+    """
+
+    def __init__(self, coord: CoordClient):
+        self.coord = coord
+        self._own: str = ""
+
+    def setup(self):
+        yield from ensure_object(self.coord, LEADER_ROOT)
+
+    def become_leader(self):
+        """Blocks until this client is the acting leader."""
+        self._own = yield from self.coord.monitor(f"{LEADER_ROOT}/n-")
+        while True:
+            objs = yield from self.coord.sub_objects(LEADER_ROOT,
+                                                     with_data=False)
+            ids = [record.object_id for record in objs]
+            if self._own not in ids:
+                continue  # our own object has not surfaced yet; re-rank
+            rank = ids.index(self._own)
+            if rank == 0:
+                # T15's extra remote call: confirm the claim (our own
+                # liveness object may have expired while we waited) —
+                # the round the extension variant saves (§6.1.4).
+                try:
+                    confirmation = yield from self.coord.read(self._own)
+                except Exception:
+                    confirmation = None
+                if confirmation is None:
+                    self._own = yield from self.coord.monitor(
+                        f"{LEADER_ROOT}/n-")
+                    continue
+                return True
+            # Not elected: wait for our *predecessor* to vanish, then
+            # re-rank (T10's objectDeletionEvent; watching the adjacent
+            # object avoids the herd effect — the paper's footnote 2).
+            yield from self.coord.wait_deletion(ids[rank - 1])
+
+    def abdicate(self):
+        """Step down by deleting the own id object."""
+        yield from self.coord.delete(self._own)
+        return True
+
+
+class ExtensionElection:
+    """Figure 11, right: one blocking call; reappointment is server-side."""
+
+    EXTENSION_NAME = "leader-election"
+
+    def __init__(self, coord: CoordClient):
+        self.coord = coord
+
+    def setup(self, register: bool = True):
+        if register:
+            yield from ensure_object(self.coord, LEADER_ROOT)
+            yield from ensure_object(self.coord, CLIENTS_ROOT)
+            yield from self.coord.register_extension(
+                self.EXTENSION_NAME, ELECTION_EXT)
+        else:
+            yield from self.coord.acknowledge_extension(self.EXTENSION_NAME)
+        # DepSpace clients must renew the lease the server-side monitor()
+        # takes out on their behalf.
+        ensure_liveness = getattr(self.coord, "ensure_liveness", None)
+        if ensure_liveness is not None:
+            ensure_liveness()
+
+    def become_leader(self):
+        """Single blocking RPC; returns once this client leads."""
+        cid = self.coord.client_id
+        value = yield from self.coord.block(f"{LEADER_ROOT}/{cid}")
+        return value
+
+    def abdicate(self):
+        """Step down by deleting the own liveness object."""
+        cid = self.coord.client_id
+        yield from self.coord.delete(f"{CLIENTS_ROOT}/{cid}")
+        return True

@@ -1,0 +1,27 @@
+"""The paper's §6 extension sources, shipped to servers as text.
+
+These ``*.py`` files are *not* importable modules: they reference names
+(``Extension``, ``OperationSubscription``, ``EventSubscription``) that
+only exist inside the server-side sandbox namespace. Load them with
+:func:`load_extension_source`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["load_extension_source", "COUNTER_EXT", "QUEUE_EXT",
+           "BARRIER_EXT", "ELECTION_EXT"]
+
+_HERE = Path(__file__).parent
+
+
+def load_extension_source(name: str) -> str:
+    """Read one of the bundled extension sources by file stem."""
+    return (_HERE / f"{name}.py").read_text(encoding="utf-8")
+
+
+COUNTER_EXT = load_extension_source("counter_ext")
+QUEUE_EXT = load_extension_source("queue_ext")
+BARRIER_EXT = load_extension_source("barrier_ext")
+ELECTION_EXT = load_extension_source("election_ext")

@@ -1,0 +1,28 @@
+# Distributed-barrier enter extension (Figure 9, server side).
+#
+# The client performs a single blocking call on /ready/<round>/<id>.
+# Server-side, this extension registers the client at the barrier,
+# checks completeness against the threshold stored in /bconf, and
+# either blocks the caller on the round's ready object or creates it
+# (releasing everyone). The block() is non-blocking at the server: it
+# registers the event subscription and the extension terminates
+# (§6.1.3).
+
+class BarrierEnter(Extension):  # noqa: F821 - injected by the sandbox
+    def ops_subscriptions(self):
+        return [OperationSubscription(("block",), "/ready/*")]  # noqa: F821
+
+    def handle_operation(self, request, local):
+        parts = request.object_id.split("/")
+        rnd = parts[2]
+        cid = parts[3]
+        threshold = int(local.read("/bconf"))
+        if not local.exists("/barrier/" + rnd):
+            local.create("/barrier/" + rnd)
+        local.create("/barrier/" + rnd + "/" + cid)
+        objs = local.sub_objects("/barrier/" + rnd)
+        if len(objs) < threshold:
+            local.block("/ready/" + rnd)
+            return "waiting"
+        local.create("/ready/" + rnd)
+        return "entered"

@@ -1,0 +1,18 @@
+# Shared-counter increment extension (Figure 5, server side).
+#
+# This file is *extension source*: it is shipped to the coordination
+# service as text, verified by the AST white-list, and executed inside
+# the sandbox where `Extension` and `OperationSubscription` are
+# injected. It is never imported as a Python module.
+#
+# A read of /ctr-increment becomes an atomic read-modify-write of /ctr,
+# eliminating the traditional recipe's cas retry loop under contention.
+
+class CounterIncrement(Extension):  # noqa: F821 - injected by the sandbox
+    def ops_subscriptions(self):
+        return [OperationSubscription(("read",), "/ctr-increment")]  # noqa: F821
+
+    def handle_operation(self, request, local):
+        c = int(local.read("/ctr"))
+        local.update("/ctr", str(c + 1).encode())
+        return c + 1

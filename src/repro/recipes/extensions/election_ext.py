@@ -1,0 +1,40 @@
+# Leader-election extension (Figure 11, server side).
+#
+# The paper's combined operation + event extension (§6.1.4):
+#
+# * the operation half consumes a client's blocking call on
+#   /leader/<cid>: it puts the client under liveness monitoring
+#   (/clients/<cid>), appoints it directly when it is the oldest
+#   registered client, and otherwise blocks the call;
+# * the event half reacts to the deletion of any /clients/<cid> object
+#   (explicit abdication, session end, or lease expiry) by appointing
+#   the oldest surviving client — whose blocked call then unblocks.
+
+class LeaderElection(Extension):  # noqa: F821 - injected by the sandbox
+    def ops_subscriptions(self):
+        return [OperationSubscription(("block",), "/leader/*")]  # noqa: F821
+
+    def event_subscriptions(self):
+        return [EventSubscription(("deleted",), "/clients/*")]  # noqa: F821
+
+    def handle_operation(self, request, local):
+        cid = request.object_id.split("/")[-1]
+        if local.exists("/leader/" + cid):
+            local.delete("/leader/" + cid)
+        local.monitor(cid, "/clients/" + cid)
+        clients = local.sub_objects("/clients")
+        oldest = clients[0].object_id.split("/")[-1]
+        if oldest == cid:
+            local.create("/leader/" + cid)
+            return "leader"
+        local.block("/leader/" + cid)
+        return "waiting"
+
+    def handle_event(self, event, local):
+        clients = local.sub_objects("/clients")
+        if len(clients) == 0:
+            return None
+        new_leader = clients[0].object_id.split("/")[-1]
+        if not local.exists("/leader/" + new_leader):
+            local.create("/leader/" + new_leader)
+        return None

@@ -1,0 +1,17 @@
+# Distributed-queue head removal extension (Figure 7, server side).
+#
+# A read of /queue/head atomically locates the oldest element, deletes
+# it, and returns its data — one RPC instead of the traditional
+# subObjects + per-element delete race.
+
+class QueueRemove(Extension):  # noqa: F821 - injected by the sandbox
+    def ops_subscriptions(self):
+        return [OperationSubscription(("read",), "/queue/head")]  # noqa: F821
+
+    def handle_operation(self, request, local):
+        objs = local.sub_objects("/queue")
+        if len(objs) == 0:
+            return None
+        head = objs[0]
+        local.delete(head.object_id)
+        return head.data

@@ -1,0 +1,90 @@
+"""Distributed queue recipes (Figure 7).
+
+Traditional removal lists every element (sub_objects), then races other
+consumers deleting the head; each lost race forces another element
+attempt or a full relisting — the cost-per-successful-remove grows with
+the number of concurrent consumers (Figure 8). The extension variant
+removes the head atomically with a single RPC on ``/queue/head``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .coordination import CoordClient
+from .extensions import QUEUE_EXT
+from .util import ensure_object
+
+__all__ = ["TraditionalQueue", "ExtensionQueue"]
+
+QUEUE_PATH = "/queue"
+HEAD_PATH = "/queue/head"
+
+
+class TraditionalQueue:
+    """Figure 7, left: create to add; list + sort + delete-race to remove."""
+
+    def __init__(self, coord: CoordClient):
+        self.coord = coord
+        self._next_eid = 0
+        self.remove_attempts = 0
+        self.remove_successes = 0
+
+    def setup(self):
+        yield from ensure_object(self.coord, QUEUE_PATH)
+
+    def add(self, data: bytes = b""):
+        """Append an element (one create; unaffected by contention)."""
+        eid = f"{self.coord.client_id}-{self._next_eid:08d}"
+        self._next_eid += 1
+        path = yield from self.coord.create(f"{QUEUE_PATH}/{eid}", data)
+        return path
+
+    def remove(self, empty_ok: bool = False) -> Optional[bytes]:
+        """Remove and return the head element's data.
+
+        Retries on races with concurrent consumers (T7's outer loop).
+        ``empty_ok=True`` returns None instead of spinning on an empty
+        queue (useful in tests; the paper's workload keeps it non-empty).
+        """
+        while True:
+            objs = yield from self.coord.sub_objects(QUEUE_PATH)
+            if not objs and empty_ok:
+                return None
+            for obj in objs:  # oldest first
+                self.remove_attempts += 1
+                deleted = yield from self.coord.delete(obj.object_id)
+                if deleted:
+                    self.remove_successes += 1
+                    return obj.data
+
+
+class ExtensionQueue:
+    """Figure 7, right: add unchanged; remove is one RPC on /queue/head."""
+
+    EXTENSION_NAME = "queue-remove"
+
+    def __init__(self, coord: CoordClient):
+        self.coord = coord
+        self._next_eid = 0
+
+    def setup(self, register: bool = True):
+        if register:
+            yield from ensure_object(self.coord, QUEUE_PATH)
+            yield from self.coord.register_extension(
+                self.EXTENSION_NAME, QUEUE_EXT)
+        else:
+            yield from self.coord.acknowledge_extension(self.EXTENSION_NAME)
+
+    def add(self, data: bytes = b""):
+        eid = f"{self.coord.client_id}-{self._next_eid:08d}"
+        self._next_eid += 1
+        path = yield from self.coord.create(f"{QUEUE_PATH}/{eid}", data)
+        return path
+
+    def remove(self, empty_ok: bool = False) -> Optional[bytes]:
+        """Atomic head removal; the extension returns the head's data."""
+        while True:
+            value = yield from self.coord.read(HEAD_PATH)
+            if value is not None or empty_ok:
+                return value

@@ -1,0 +1,120 @@
+"""The discrete-event simulation environment: virtual clock + event queue.
+
+All distributed-system components in this repository (replicas, clients,
+the network) run inside one :class:`Environment`. Virtual time is a float
+in **milliseconds** throughout the code base, which matches the units the
+paper's figures use.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Environment", "Infeasible"]
+
+
+class Infeasible(RuntimeError):
+    """Raised when ``run(until=...)`` is asked to reach an unreachable state."""
+
+
+class Environment:
+    """Owns the virtual clock and the pending-event queue.
+
+    Typical driver loop::
+
+        env = Environment()
+        env.process(client_main(env))
+        env.run(until=10_000.0)      # run 10 simulated seconds
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue ``event`` for processing ``delay`` ms from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock."""
+        if not self._queue:
+            raise Infeasible("no scheduled events")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains,
+        * a number — run until virtual time reaches that instant,
+        * an :class:`Event` — run until that event is processed and return
+          its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise Infeasible(
+                        "event queue drained before the awaited event triggered")
+                self.step()
+            if not target.ok:
+                raise target._value
+            return target._value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,72 @@
+"""Serial resources: model a replica's CPU (or disk) as a FIFO server.
+
+Coordination-service replicas process the request path on effectively one
+thread (ZooKeeper's request-processor chain, BFT-SMaRt's ordered delivery
+thread). Modelling that path as a FIFO queue with per-item service times
+is what reproduces the paper's saturation throughput and the latency
+growth under load in Figures 6–13.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .environment import Environment
+from .events import Event
+
+__all__ = ["FifoResource"]
+
+
+class FifoResource:
+    """A single server that processes submitted work items in FIFO order.
+
+    ``submit(cost_ms)`` returns an event that triggers once the item has
+    been serviced. Utilization statistics are tracked so benchmarks can
+    report saturation.
+    """
+
+    def __init__(self, env: Environment, name: str = "cpu"):
+        self.env = env
+        self.name = name
+        self._queue: Deque[Tuple[float, Event]] = deque()
+        self._busy = False
+        self.busy_ms = 0.0
+        self.items_served = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def submit(self, cost_ms: float, value=None) -> Event:
+        """Enqueue a work item taking ``cost_ms``; returns completion event."""
+        if cost_ms < 0:
+            raise ValueError(f"negative cost: {cost_ms!r}")
+        done = Event(self.env)
+        done._pending_value = value
+        self._queue.append((cost_ms, done))
+        if not self._busy:
+            self._serve_next()
+        return done
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        cost_ms, done = self._queue.popleft()
+        self.busy_ms += cost_ms
+        self.items_served += 1
+
+        def finish(_event) -> None:
+            done.succeed(getattr(done, "_pending_value", None))
+            self._serve_next()
+
+        timer = self.env.timeout(cost_ms)
+        timer.add_callback(finish)
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of ``elapsed_ms`` this resource spent busy."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_ms / elapsed_ms)

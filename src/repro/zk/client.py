@@ -1,0 +1,225 @@
+"""ZooKeeper client library for simulated clients.
+
+All calls are generator-based: recipe code runs inside a simulation
+process and writes ``value = yield from client.get_data(path)`` — the
+same shape as the paper's blocking pseudocode.
+
+The library handles session establishment, request/reply matching,
+timeouts with fail-over to another replica, watch-event dispatch, and
+keep-alive pings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim import Environment, Event, Network
+from .errors import ConnectionLossError, ZkError, from_code
+from .txn import (ClientReply, ClientRequest, CloseSessionOp, CreateOp,
+                  CreateSessionOp, DeleteOp, ExistsOp, GetChildrenOp,
+                  GetDataOp, MultiOp, Op, PingOp, SetDataOp,
+                  WatchNotification)
+from .watches import EventType
+
+__all__ = ["ZkClient"]
+
+_DEFAULT_TIMEOUT_MS = 3000.0
+
+
+class ZkClient:
+    """One client endpoint; owns a session once :meth:`connect` completes."""
+
+    def __init__(self, env: Environment, net: Network, node_id: str,
+                 replicas: List[str], replica: Optional[str] = None,
+                 session_timeout_ms: float = 2000.0):
+        self.env = env
+        self.net = net
+        self.node_id = node_id
+        self.replicas = list(replicas)
+        self.replica = replica or self.replicas[0]
+        self.session_timeout_ms = session_timeout_ms
+        self.session_id: Optional[int] = None
+
+        self._xid = 0
+        self._pending: Dict[int, Event] = {}
+        self._event_waiters: Dict[str, List[Event]] = {}
+        self.watch_callbacks: List[Callable[[WatchNotification], None]] = []
+        self._closed = False
+        net.register(node_id, self._on_message)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def client_id(self) -> str:
+        """The paper's 'client id': stringified session id."""
+        if self.session_id is None:
+            raise RuntimeError("client id unknown before connect()")
+        return str(self.session_id)
+
+    # -- inbox -------------------------------------------------------------
+
+    def _on_message(self, src: str, msg: object) -> None:
+        if isinstance(msg, ClientReply):
+            future = self._pending.pop(msg.xid, None)
+            if future is not None and not future.triggered:
+                future.succeed(msg)
+        elif isinstance(msg, WatchNotification):
+            self._dispatch_watch(msg)
+
+    def _dispatch_watch(self, notification: WatchNotification) -> None:
+        waiters = self._event_waiters.pop(notification.path, [])
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed(notification)
+        for callback in list(self.watch_callbacks):
+            callback(notification)
+
+    # -- RPC core ----------------------------------------------------------
+
+    def _call(self, op: Op, timeout_ms: Optional[float] = _DEFAULT_TIMEOUT_MS):
+        """Issue one request; retries on another replica after a timeout."""
+        if self._closed:
+            raise ConnectionLossError("client closed")
+        self._xid += 1
+        xid = self._xid
+        session = self.session_id or 0
+        attempts = 0
+        while True:
+            attempts += 1
+            future = self.env.event()
+            self._pending[xid] = future
+            self.net.send(self.node_id, self.replica,
+                          ClientRequest(session, xid, op))
+            if timeout_ms is None:
+                reply = yield future
+            else:
+                timer = self.env.timeout(timeout_ms)
+                outcome = yield self.env.any_of([future, timer])
+                if future not in outcome:
+                    # Timed out: assume the replica is gone and fail over.
+                    self._pending.pop(xid, None)
+                    if attempts >= 2 * len(self.replicas) + 1:
+                        raise ConnectionLossError(
+                            f"no replica answered after {attempts} attempts")
+                    self._failover()
+                    continue
+                reply = outcome[future]
+            if not reply.ok:
+                if reply.error_code == ConnectionLossError.code:
+                    # Replica lost its leader; back off briefly and retry.
+                    yield self.env.timeout(50.0)
+                    if attempts >= 2 * len(self.replicas) + 1:
+                        raise from_code(reply.error_code, reply.error_message)
+                    continue
+                raise from_code(reply.error_code, reply.error_message)
+            return reply.value
+
+    def _failover(self) -> None:
+        index = self.replicas.index(self.replica)
+        self.replica = self.replicas[(index + 1) % len(self.replicas)]
+
+    # -- session lifecycle -------------------------------------------------
+
+    def connect(self, client_label: str = ""):
+        """Establish a session; starts the keep-alive ping loop."""
+        session_id = yield from self._call(
+            CreateSessionOp(self.session_timeout_ms,
+                            client_label or self.node_id))
+        self.session_id = session_id
+        self.env.process(self._ping_loop())
+        return session_id
+
+    def close(self):
+        """Close the session (server reaps ephemerals)."""
+        try:
+            yield from self._call(CloseSessionOp())
+        finally:
+            self._closed = True
+        return True
+
+    def kill(self) -> None:
+        """Abrupt client death (no session close) for failure-injection tests."""
+        self._closed = True
+        self.net.crash(self.node_id)
+
+    def _ping_loop(self):
+        interval = self.session_timeout_ms / 3.0
+        while not self._closed:
+            self._xid += 1
+            # Fire-and-forget: the reply (if any) finds no pending future.
+            self.net.send(self.node_id, self.replica,
+                          ClientRequest(self.session_id or 0, self._xid,
+                                        PingOp()))
+            yield self.env.timeout(interval)
+
+    # -- ZooKeeper API -------------------------------------------------------
+
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequential: bool = False):
+        """Create a znode; returns the actual (suffix-resolved) path."""
+        value = yield from self._call(
+            CreateOp(path, data, ephemeral, sequential))
+        return value
+
+    def delete(self, path: str, version: int = -1):
+        """Delete a znode (conditional when ``version`` >= 0)."""
+        yield from self._call(DeleteOp(path, version))
+        return True
+
+    def set_data(self, path: str, data: bytes, version: int = -1):
+        """Overwrite znode data; returns the new Stat."""
+        value = yield from self._call(SetDataOp(path, data, version))
+        return value
+
+    def get_data(self, path: str, watch: bool = False):
+        """Read znode data; returns (data, Stat)."""
+        value = yield from self._call(GetDataOp(path, watch))
+        return value
+
+    def get_children(self, path: str, watch: bool = False):
+        """List child names (sorted)."""
+        value = yield from self._call(GetChildrenOp(path, watch))
+        return value
+
+    def exists(self, path: str, watch: bool = False):
+        """Stat if the node exists, else None (optionally arming a watch)."""
+        value = yield from self._call(ExistsOp(path, watch))
+        return value
+
+    def multi(self, ops: List[Op]):
+        """Atomic batch of update operations."""
+        value = yield from self._call(MultiOp(list(ops)))
+        return value
+
+    # -- blocking / notification helpers --------------------------------------
+
+    def wait_for_event(self, path: str) -> Event:
+        """Future resolved by the next watch notification for ``path``."""
+        waiter = self.env.event()
+        self._event_waiters.setdefault(path, []).append(waiter)
+        return waiter
+
+    def discard_waiter(self, path: str, waiter: Event) -> None:
+        waiters = self._event_waiters.get(path)
+        if waiters and waiter in waiters:
+            waiters.remove(waiter)
+            if not waiters:
+                del self._event_waiters[path]
+
+    def block(self, path: str):
+        """Wait until ``path`` exists (Table 2's ``block`` primitive).
+
+        Traditional path: exists-with-watch, then wait for the creation
+        notification. When an operation extension consumes the exists
+        call, the server defers the reply instead (same client code).
+        """
+        waiter = self.wait_for_event(path)
+        result = yield from self._call(ExistsOp(path, watch=True),
+                                       timeout_ms=None)
+        if result is not None:
+            # Either the node already exists (Stat) or an extension
+            # unblocked us directly (('unblocked', path) payload).
+            self.discard_waiter(path, waiter)
+            return result
+        notification = yield waiter
+        return notification

@@ -1,0 +1,81 @@
+"""Convenience builder: a ZooKeeper ensemble plus its clients on one network."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Environment, LatencyModel, Network
+from .client import ZkClient
+from .server import ZkConfig, ZkServer
+
+__all__ = ["ZkEnsemble"]
+
+
+class ZkEnsemble:
+    """``2f + 1`` ZooKeeper replicas on a simulated network.
+
+    The ensemble boots with replica 0 as the established leader (no
+    initial election round), matching how benchmarks bring up a healthy
+    cluster; elections still run on failure.
+    """
+
+    #: client implementation handed out by :meth:`client` (EZK overrides).
+    client_class = ZkClient
+
+    def __init__(self, env: Optional[Environment] = None, n_replicas: int = 3,
+                 config: Optional[ZkConfig] = None,
+                 net: Optional[Network] = None, seed: int = 0,
+                 latency: Optional[LatencyModel] = None,
+                 name_prefix: str = "zk"):
+        if n_replicas < 1 or n_replicas % 2 == 0:
+            raise ValueError("ensemble size must be odd and positive")
+        self.env = env or Environment()
+        self.net = net or Network(self.env, latency=latency, seed=seed)
+        self.config = config or ZkConfig()
+        self.replica_ids = [f"{name_prefix}{i}" for i in range(n_replicas)]
+        self.servers: List[ZkServer] = []
+        for node_id in self.replica_ids:
+            peers = [p for p in self.replica_ids if p != node_id]
+            self.servers.append(
+                ZkServer(self.env, self.net, node_id, peers, self.config))
+        self._client_count = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Bootstrap the ensemble (replica 0 leads)."""
+        for server in self.servers:
+            server.start(self.replica_ids[0])
+        self._started = True
+
+    @property
+    def leader(self) -> Optional[ZkServer]:
+        for server in self.servers:
+            if server.is_leader:
+                return server
+        return None
+
+    def server(self, node_id: str) -> ZkServer:
+        return self.servers[self.replica_ids.index(node_id)]
+
+    def client(self, node_id: Optional[str] = None,
+               session_timeout_ms: float = 2000.0,
+               replica: Optional[str] = None) -> ZkClient:
+        """Create a client; connection replica assigned round-robin."""
+        if not self._started:
+            raise RuntimeError("start() the ensemble before creating clients")
+        if node_id is None:
+            node_id = f"zkclient{self._client_count}"
+        if replica is None:
+            replica = self.replica_ids[self._client_count % len(self.replica_ids)]
+        self._client_count += 1
+        return self.client_class(self.env, self.net, node_id,
+                                 self.replica_ids, replica=replica,
+                                 session_timeout_ms=session_timeout_ms)
+
+    def trees_consistent(self) -> bool:
+        """True when every live replica holds the same tree (test helper)."""
+        fingerprints = {
+            server.tree.fingerprint()
+            for server in self.servers if server._alive
+        }
+        return len(fingerprints) == 1

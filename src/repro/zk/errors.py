@@ -1,0 +1,111 @@
+"""ZooKeeper-style error taxonomy.
+
+Errors cross the simulated wire as small string codes (see
+:func:`to_code` / :func:`from_code`) so replies stay cheap to size.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ZkError",
+    "NoNodeError",
+    "NodeExistsError",
+    "BadVersionError",
+    "NotEmptyError",
+    "NoChildrenForEphemeralsError",
+    "SessionExpiredError",
+    "ConnectionLossError",
+    "BadArgumentsError",
+    "to_code",
+    "from_code",
+]
+
+
+class ZkError(Exception):
+    """Base class for all coordination-service errors."""
+
+    code = "ZK_ERROR"
+
+
+class NoNodeError(ZkError):
+    """The referenced znode does not exist."""
+
+    code = "NO_NODE"
+
+
+class NodeExistsError(ZkError):
+    """A znode already exists at the given path."""
+
+    code = "NODE_EXISTS"
+
+
+class BadVersionError(ZkError):
+    """A conditional update's expected version did not match."""
+
+    code = "BAD_VERSION"
+
+
+class NotEmptyError(ZkError):
+    """Cannot delete a znode that still has children."""
+
+    code = "NOT_EMPTY"
+
+
+class NoChildrenForEphemeralsError(ZkError):
+    """Ephemeral znodes cannot have children."""
+
+    code = "NO_CHILDREN_FOR_EPHEMERALS"
+
+
+class SessionExpiredError(ZkError):
+    """The client session is gone; ephemerals have been reaped."""
+
+    code = "SESSION_EXPIRED"
+
+
+class ConnectionLossError(ZkError):
+    """The replica the client was talking to went away mid-request."""
+
+    code = "CONNECTION_LOSS"
+
+
+class BadArgumentsError(ZkError):
+    """Malformed request (bad path, bad parameters)."""
+
+    code = "BAD_ARGUMENTS"
+
+
+_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        ZkError,
+        NoNodeError,
+        NodeExistsError,
+        BadVersionError,
+        NotEmptyError,
+        NoChildrenForEphemeralsError,
+        SessionExpiredError,
+        ConnectionLossError,
+        BadArgumentsError,
+    )
+}
+
+
+def to_code(error: ZkError) -> str:
+    """Serialize an error for the wire."""
+    return error.code
+
+
+def from_code(code: str, message: str = "") -> ZkError:
+    """Reconstruct an error instance from its wire code.
+
+    Unknown codes (e.g. extension-layer errors tunnelled through the ZK
+    reply path) come back as a plain :class:`ZkError` whose instance
+    ``code`` preserves the original wire code.
+    """
+    cls = _BY_CODE.get(code)
+    if cls is not None:
+        return cls(message or code)
+    error = ZkError(message or code)
+    error.code = code
+    return error

@@ -1,0 +1,557 @@
+"""A ZooKeeper replica: request-processor chain over the Zab substrate.
+
+Mirrors the architecture in the paper's Figure 3:
+
+* the **prep** stage (leader only) validates update operations against a
+  speculative tree (current state + all prepped-but-uncommitted txns) and
+  turns them into deterministic transactions;
+* the **proposal** stage is :class:`~repro.zk.zab.ZabPeer`;
+* the **final** stage applies committed transactions at every replica,
+  answers the originating client, and fires watches.
+
+Reads take ZooKeeper's fast path: they execute at the replica the client
+is connected to, against its locally committed state, without touching
+the leader.
+
+Extensible ZooKeeper hooks in at exactly the points §5.1.2 describes,
+via three attributes that default to ``None``:
+
+* ``extension_router`` — ``(session_id, op) -> bool``; when true the
+  request is routed to the leader even if it is a read, because an
+  operation extension will consume it;
+* ``op_interceptor`` — called at the prep stage; may return an
+  :class:`InterceptResult` whose multi-transaction replaces the normal
+  translation;
+* ``event_hook`` — called at apply time with the state-change events of
+  the applied transaction (leader runs event extensions; every replica
+  may suppress client notifications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim import Environment, FifoResource, Network
+from .data_tree import DataTree, split_path
+from .errors import (ConnectionLossError, SessionExpiredError, ZkError,
+                     to_code)
+from .overlay import TreeOverlay
+from .sessions import HeartbeatTracker, SessionTable
+from .txn import (ClientReply, ClientRequest, CloseSessionOp, CloseSessionTxn,
+                  CreateOp, CreateSessionOp, CreateSessionTxn, CreateTxn,
+                  DeleteOp, DeleteTxn, ErrorTxn, ExistsOp, GetChildrenOp,
+                  GetDataOp, MultiOp, MultiTxn, Op, PingOp, RequestMeta,
+                  SetDataOp, SetDataTxn, Txn, TxnRecord, WatchNotification,
+                  is_update)
+from .watches import EventType, WatchEvent, WatchManager
+from .zab import NotLeaderError, ZabConfig, ZabPeer
+
+__all__ = ["ZkTimings", "ZkConfig", "ZkServer", "Forward", "SessionPing",
+           "InterceptResult", "StateEvent"]
+
+
+@dataclass
+class ZkTimings:
+    """Per-stage CPU service times (ms) for one replica."""
+
+    read_execute_ms: float = 0.015
+    prep_ms: float = 0.015
+    log_write_ms: float = 0.015
+    apply_ms: float = 0.01
+    extension_exec_ms: float = 0.01   # extra prep cost when an extension runs
+
+
+@dataclass
+class ZkConfig:
+    timings: ZkTimings = field(default_factory=ZkTimings)
+    zab: ZabConfig = field(default_factory=ZabConfig)
+    session_timeout_ms: float = 2000.0
+    expiry_sweep_ms: float = 100.0
+
+
+@dataclass
+class Forward:
+    """Follower -> leader relay of an update request."""
+
+    request: ClientRequest
+    origin_replica: str
+    client_node: str
+
+
+@dataclass
+class SessionPing:
+    session_id: int
+
+
+@dataclass
+class StateEvent:
+    """One state change produced by applying a transaction."""
+
+    event_type: EventType
+    path: str
+    data: bytes = b""
+    #: session of the client whose request produced this change (None for
+    #: server-internal transactions such as expiry-driven deletions).
+    origin_session: Optional[int] = None
+
+
+@dataclass
+class InterceptResult:
+    """What an operation extension produced at the prep stage."""
+
+    txn: Txn                      # usually a MultiTxn
+    result: Any = None            # piggybacked reply value
+    block_path: Optional[str] = None   # defer the reply until this path is created
+
+
+class ZkServer:
+    """One replica of the (extensible-ready) ZooKeeper service."""
+
+    def __init__(self, env: Environment, net: Network, node_id: str,
+                 peer_ids: List[str], config: Optional[ZkConfig] = None):
+        self.env = env
+        self.net = net
+        self.node_id = node_id
+        self.peer_ids = list(peer_ids)
+        self.config = config or ZkConfig()
+        self.timings = self.config.timings
+
+        self.tree = DataTree()
+        self.sessions = SessionTable()
+        self.watches = WatchManager()
+        self.heartbeats = HeartbeatTracker()
+        self.cpu = FifoResource(env, name=f"{node_id}.cpu")
+
+        #: sessions whose client is connected to *this* replica.
+        self.local_sessions: Dict[int, str] = {}
+        #: path -> [(session_id, xid, client_node)] replies deferred until create.
+        self._deferred_blocks: Dict[str, List[Tuple[int, int, str]]] = {}
+
+        self.zab = ZabPeer(env, node_id, [node_id] + [p for p in peer_ids],
+                           send=self._zab_send, deliver=self._on_deliver,
+                           config=self.config.zab)
+        self.zab.on_role_change = self._on_role_change
+        self._spec_tree: Optional[DataTree] = None
+
+        # EZK hooks (see module docstring).
+        self.extension_router: Optional[Callable[[int, Op], bool]] = None
+        self.op_interceptor: Optional[
+            Callable[[RequestMeta, Op, "ZkServer"], Optional[InterceptResult]]] = None
+        self.event_hook: Optional[
+            Callable[[List[StateEvent], "ZkServer"], None]] = None
+        #: notification filter: (session_id, WatchEvent) -> suppress?
+        self.notification_filter: Optional[
+            Callable[[int, WatchEvent], bool]] = None
+        #: called after a crash-recovery rejoin (EZK rebuilds its
+        #: extension registry from the /em index, §3.8).
+        self.on_recover: Optional[Callable[["ZkServer"], None]] = None
+
+        self._alive = True
+        net.register(node_id, self.handle_message)
+        env.process(self._expiry_loop())
+
+    # -- wiring ----------------------------------------------------------
+
+    def _zab_send(self, dst: str, msg: object) -> None:
+        self.net.send(self.node_id, dst, msg)
+
+    def start(self, leader_id: str) -> None:
+        """Bootstrap with a known initial leader (no election round)."""
+        self.zab.bootstrap(leader_id)
+        self._on_role_change()
+
+    @property
+    def is_leader(self) -> bool:
+        return self.zab.is_leader
+
+    # -- fault injection ---------------------------------------------------
+
+    def crash(self) -> None:
+        self._alive = False
+        self.net.crash(self.node_id)
+        self.zab.crash()
+
+    def recover(self) -> None:
+        self._alive = True
+        self.net.recover(self.node_id)
+        self.zab.recover()
+        if self.on_recover is not None:
+            self.on_recover(self)
+
+    # -- message dispatch ------------------------------------------------------
+
+    def handle_message(self, src: str, msg: object) -> None:
+        if not self._alive:
+            return
+        if self.zab.handle(src, msg):
+            return
+        if isinstance(msg, ClientRequest):
+            self._on_client_request(src, msg)
+        elif isinstance(msg, Forward):
+            self._on_forward(msg)
+        elif isinstance(msg, SessionPing):
+            self.heartbeats.touch(msg.session_id, self.env.now)
+
+    # -- client requests ---------------------------------------------------
+
+    def _on_client_request(self, src: str, req: ClientRequest) -> None:
+        op = req.op
+        if isinstance(op, PingOp):
+            self._on_ping(src, req)
+            return
+        meta = RequestMeta(self.node_id, src, req.session_id, req.xid)
+        routed_by_extension = (
+            self.extension_router is not None
+            and self.extension_router(req.session_id, op))
+        if is_update(op) or routed_by_extension:
+            self._route_update(meta, req)
+        else:
+            self._handle_read(meta, op)
+
+    def _on_ping(self, src: str, req: ClientRequest) -> None:
+        self.local_sessions.setdefault(req.session_id, src)
+        if self.zab.is_leader:
+            self.heartbeats.touch(req.session_id, self.env.now)
+        elif self.zab.leader_id is not None:
+            self.net.send(self.node_id, self.zab.leader_id,
+                          SessionPing(req.session_id))
+        self._reply(src, ClientReply(req.xid, ok=True, value="pong"))
+
+    def _route_update(self, meta: RequestMeta, req: ClientRequest) -> None:
+        self.local_sessions[req.session_id] = meta.client_node
+        if self.zab.is_leader:
+            self._enter_prep(meta, req.op)
+        elif self.zab.leader_id is not None:
+            self.net.send(self.node_id, self.zab.leader_id,
+                          Forward(req, self.node_id, meta.client_node))
+        else:
+            self._reply_error(meta, ConnectionLossError("no leader known"))
+
+    def _on_forward(self, fwd: Forward) -> None:
+        if not self.zab.is_leader:
+            # Stale forward (leadership moved): bounce an error so the
+            # client retries against the new topology.
+            meta = RequestMeta(fwd.origin_replica, fwd.client_node,
+                               fwd.request.session_id, fwd.request.xid)
+            self._reply_error(meta, ConnectionLossError("not the leader"))
+            return
+        meta = RequestMeta(fwd.origin_replica, fwd.client_node,
+                           fwd.request.session_id, fwd.request.xid)
+        self._enter_prep(meta, fwd.request.op)
+
+    # -- read fast path ------------------------------------------------------
+
+    def _handle_read(self, meta: RequestMeta, op: Op) -> None:
+        self.local_sessions[meta.session_id] = meta.client_node
+        work = self.cpu.submit(self.timings.read_execute_ms)
+        work.add_callback(lambda _e: self._execute_read(meta, op))
+
+    def _execute_read(self, meta: RequestMeta, op: Op) -> None:
+        if not self._alive:
+            return
+        try:
+            if isinstance(op, GetDataOp):
+                data, stat = self.tree.get_data(op.path)
+                if op.watch:
+                    self.watches.add_data_watch(op.path, meta.session_id)
+                value = (data, stat)
+            elif isinstance(op, ExistsOp):
+                stat = self.tree.exists(op.path)
+                if op.watch:
+                    self.watches.add_data_watch(op.path, meta.session_id)
+                value = stat
+            elif isinstance(op, GetChildrenOp):
+                children = self.tree.get_children(op.path)
+                if op.watch:
+                    self.watches.add_child_watch(op.path, meta.session_id)
+                value = children
+            else:
+                raise ZkError(f"not a read operation: {op!r}")
+        except ZkError as error:
+            self._reply_error(meta, error)
+            return
+        self._reply(meta.client_node, ClientReply(meta.xid, True, value))
+
+    # -- prep stage (leader) -----------------------------------------------
+
+    def _enter_prep(self, meta: RequestMeta, op: Op) -> None:
+        self.heartbeats.touch(meta.session_id, self.env.now)
+        cost = self.timings.prep_ms + self.timings.log_write_ms
+        work = self.cpu.submit(cost)
+        work.add_callback(lambda _e: self._prep(meta, op))
+
+    def _prep(self, meta: RequestMeta, op: Op) -> None:
+        if not self._alive:
+            return
+        if not self.zab.is_leader:
+            self._reply_error(meta, ConnectionLossError("leadership moved"))
+            return
+        spec = self._spec_tree
+        assert spec is not None, "established leader must have a spec tree"
+
+        if self.op_interceptor is not None:
+            try:
+                intercepted = self.op_interceptor(meta, op, self)
+            except ZkError as error:
+                self._reply_error(meta, error)
+                return
+            if intercepted is not None:
+                # The extension ran against the speculative tree; apply
+                # its write-set and propose in the same event so the next
+                # prep sees it (atomicity under pipelining). The extra
+                # leader CPU it consumed is billed as a queue item — only
+                # on the matched path, so regular clients see none of it
+                # (§6.2's <0.4% overhead claim).
+                self.cpu.submit(self.timings.extension_exec_ms)
+                self._propose_intercepted(meta, intercepted)
+                return
+
+        try:
+            txn = self._translate(meta, op, spec)
+        except ZkError as error:
+            # Faithful to ZooKeeper: rejected updates still travel the
+            # ordered pipeline as error transactions.
+            txn = ErrorTxn(to_code(error), str(error))
+        self.zab.propose(txn, meta)
+
+    def _propose_intercepted(self, meta: RequestMeta,
+                             intercepted: InterceptResult) -> None:
+        if not self._alive or not self.zab.is_leader:
+            return
+        self._apply_to_spec(intercepted.txn)
+        if intercepted.block_path is not None:
+            intercepted.txn.effects.append(("block", intercepted.block_path))
+        self.zab.propose(intercepted.txn, meta)
+
+    def _translate(self, meta: RequestMeta, op: Op, spec: DataTree) -> Txn:
+        """Turn a validated update op into a deterministic txn (mutates spec)."""
+        if isinstance(op, CreateOp):
+            owner = meta.session_id if op.ephemeral else None
+            actual = spec.create(op.path, op.data, ephemeral_owner=owner,
+                                 sequential=op.sequential)
+            return CreateTxn(actual, op.data, owner)
+        if isinstance(op, SetDataOp):
+            spec.set_data(op.path, op.data, op.version)
+            return SetDataTxn(op.path, op.data)
+        if isinstance(op, DeleteOp):
+            spec.delete(op.path, op.version)
+            return DeleteTxn(op.path)
+        if isinstance(op, MultiOp):
+            overlay = TreeOverlay(spec)
+            for sub in op.ops:
+                if isinstance(sub, CreateOp):
+                    owner = meta.session_id if sub.ephemeral else None
+                    overlay.create(sub.path, sub.data, ephemeral_owner=owner,
+                                   sequential=sub.sequential)
+                elif isinstance(sub, SetDataOp):
+                    overlay.set_data(sub.path, sub.data, sub.version)
+                elif isinstance(sub, DeleteOp):
+                    overlay.delete(sub.path, sub.version)
+                else:
+                    raise ZkError(f"op not allowed in multi: {sub!r}")
+            txn = MultiTxn(overlay.txns)
+            self._apply_to_spec(txn)
+            return txn
+        if isinstance(op, CreateSessionOp):
+            return CreateSessionTxn(0, op.timeout_ms, op.client_id)
+        if isinstance(op, CloseSessionOp):
+            return CloseSessionTxn(meta.session_id)
+        raise ZkError(f"unknown update operation: {op!r}")
+
+    def _apply_to_spec(self, txn: Txn) -> None:
+        spec = self._spec_tree
+        if spec is None:
+            return
+        _apply_txn_to_tree(spec, txn, zxid=0, now=self.env.now)
+
+    def _on_role_change(self) -> None:
+        if self.zab.is_leader:
+            self._spec_tree = _copy_tree(self.tree)
+            for session_id in self.sessions.ids():
+                session = self.sessions.get(session_id)
+                self.heartbeats.track(session_id, session.timeout_ms,
+                                      self.env.now)
+        else:
+            self._spec_tree = None
+
+    # -- final stage (every replica) ----------------------------------------
+
+    def _on_deliver(self, record: TxnRecord) -> None:
+        result, error, events = self._apply(record)
+        work = self.cpu.submit(self.timings.apply_ms)
+        work.add_callback(
+            lambda _e: self._after_apply(record, result, error, events))
+
+    def _apply(self, record: TxnRecord
+               ) -> Tuple[Any, Optional[ZkError], List[StateEvent]]:
+        """Mutate replicated state; returns (result, error, state events)."""
+        txn = record.txn
+        now = self.env.now
+        events: List[StateEvent] = []
+        try:
+            if isinstance(txn, ErrorTxn):
+                from .errors import from_code
+                return (None, from_code(txn.code, txn.message), events)
+            if isinstance(txn, CreateSessionTxn):
+                session_id = record.zxid
+                self.sessions.create(session_id, txn.timeout_ms, txn.client_id)
+                if self.zab.is_leader:
+                    self.heartbeats.track(session_id, txn.timeout_ms, now)
+                if record.meta is not None and record.meta.origin_replica == self.node_id:
+                    self.local_sessions[session_id] = record.meta.client_node
+                return (session_id, None, events)
+            if isinstance(txn, CloseSessionTxn):
+                self._close_session(txn.session_id, events)
+                return (True, None, events)
+            result = _apply_txn_to_tree(self.tree, txn, record.zxid, now,
+                                        events=events)
+            if record.meta is not None:
+                for event in events:
+                    event.origin_session = record.meta.session_id
+            return (result, None, events)
+        except ZkError as error:
+            # Should not happen (prep validated); surface as an error reply.
+            return (None, error, events)
+
+    def _close_session(self, session_id: int, events: List[StateEvent]) -> None:
+        self.sessions.close(session_id)
+        self.heartbeats.forget(session_id)
+        doomed = self.tree.kill_session(session_id)
+        for path in doomed:
+            events.append(StateEvent(EventType.NODE_DELETED, path))
+        self.watches.remove_session(session_id)
+        self.local_sessions.pop(session_id, None)
+
+    def _after_apply(self, record: TxnRecord, result: Any,
+                     error: Optional[ZkError],
+                     events: List[StateEvent]) -> None:
+        if not self._alive:
+            return
+        # 1. Event extensions (leader executes; every replica may suppress).
+        if self.event_hook is not None and events:
+            self.event_hook(events, self)
+        # 2. Watches + deferred block replies for locally-connected clients.
+        self._fire_watches(events)
+        # 3. Reply to the originating client.
+        meta = record.meta
+        if meta is None or meta.origin_replica != self.node_id:
+            return
+        blocked = isinstance(record.txn, MultiTxn) and any(
+            effect[0] == "block" for effect in record.txn.effects)
+        if blocked:
+            for effect in record.txn.effects:
+                if effect[0] == "block":
+                    self._register_deferred_block(meta, effect[1])
+            return
+        if error is not None:
+            self._reply_error(meta, error)
+        else:
+            value = result
+            if isinstance(record.txn, MultiTxn) and record.txn.payload_set:
+                value = record.txn.result_payload
+            self._reply(meta.client_node, ClientReply(meta.xid, True, value))
+
+    def _register_deferred_block(self, meta: RequestMeta, path: str) -> None:
+        """Defer the reply to ``meta`` until ``path`` is created.
+
+        If the path already exists (the event raced the registration), the
+        reply goes out immediately — the paper's block() semantics.
+        """
+        if self.tree.exists(path) is not None:
+            self._reply(meta.client_node,
+                        ClientReply(meta.xid, True, ("unblocked", path)))
+            return
+        self._deferred_blocks.setdefault(path, []).append(
+            (meta.session_id, meta.xid, meta.client_node))
+
+    def _fire_watches(self, events: List[StateEvent]) -> None:
+        notifications: List[Tuple[int, WatchEvent]] = []
+        for event in events:
+            notifications.extend(
+                self.watches.trigger(event.path, event.event_type))
+            if event.event_type in (EventType.NODE_CREATED,
+                                    EventType.NODE_DELETED):
+                parent, _ = split_path(event.path)
+                notifications.extend(self.watches.trigger_children(parent))
+            if event.event_type is EventType.NODE_CREATED:
+                for session_id, xid, client in self._deferred_blocks.pop(
+                        event.path, ()):
+                    self._reply(client, ClientReply(
+                        xid, True, ("unblocked", event.path)))
+        for session_id, watch_event in notifications:
+            if (self.notification_filter is not None
+                    and self.notification_filter(session_id, watch_event)):
+                continue
+            client = self.local_sessions.get(session_id)
+            if client is not None:
+                self._reply(client, WatchNotification(
+                    session_id, watch_event.event_type.value,
+                    watch_event.path))
+
+    # -- session expiry (leader duty) ------------------------------------------
+
+    def _expiry_loop(self):
+        while True:
+            yield self.env.timeout(self.config.expiry_sweep_ms)
+            if not self._alive or not self.zab.is_leader:
+                continue
+            for session_id in self.heartbeats.expired(self.env.now):
+                self.heartbeats.forget(session_id)
+                if session_id in self.sessions:
+                    self.zab.propose(CloseSessionTxn(session_id), None)
+                    self._apply_to_spec(CloseSessionTxn(session_id))
+
+    # -- replies -----------------------------------------------------------
+
+    def _reply(self, client_node: str, payload: object) -> None:
+        self.net.send(self.node_id, client_node, payload)
+
+    def _reply_error(self, meta: RequestMeta, error: ZkError) -> None:
+        self._reply(meta.client_node, ClientReply(
+            meta.xid, False, None, to_code(error), str(error)))
+
+
+# ---------------------------------------------------------------------------
+# Shared txn application
+# ---------------------------------------------------------------------------
+
+def _copy_tree(tree: DataTree) -> DataTree:
+    copy = DataTree()
+    copy.restore(tree.snapshot())
+    return copy
+
+
+def _apply_txn_to_tree(tree: DataTree, txn: Txn, zxid: int, now: float,
+                       events: Optional[List[StateEvent]] = None) -> Any:
+    """Apply one txn; optionally collect state events. Returns the result."""
+    if isinstance(txn, CreateTxn):
+        actual = tree.create(txn.path, txn.data,
+                             ephemeral_owner=txn.ephemeral_owner,
+                             zxid=zxid, now=now)
+        if events is not None:
+            events.append(StateEvent(EventType.NODE_CREATED, actual, txn.data))
+        return actual
+    if isinstance(txn, SetDataTxn):
+        stat = tree.set_data(txn.path, txn.data, version=-1, zxid=zxid, now=now)
+        if events is not None:
+            events.append(StateEvent(EventType.NODE_DATA_CHANGED, txn.path,
+                                     txn.data))
+        return stat
+    if isinstance(txn, DeleteTxn):
+        tree.delete(txn.path, version=-1)
+        if events is not None:
+            events.append(StateEvent(EventType.NODE_DELETED, txn.path))
+        return None
+    if isinstance(txn, MultiTxn):
+        results = [
+            _apply_txn_to_tree(tree, sub, zxid, now, events=events)
+            for sub in txn.txns
+        ]
+        return results
+    if isinstance(txn, CreateSessionTxn):
+        return None  # session txns are handled by the server, not the tree
+    if isinstance(txn, CloseSessionTxn):
+        tree.kill_session(txn.session_id)
+        return None
+    raise ZkError(f"unknown txn: {txn!r}")

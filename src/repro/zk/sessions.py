@@ -1,0 +1,99 @@
+"""Client sessions: liveness tracking and ephemeral-node cleanup.
+
+Session state is part of the replicated state machine — session creation
+and closure flow through the ordered transaction pipeline, so every
+replica agrees on which sessions exist and ephemeral cleanup happens
+consistently. Expiry detection, however, is a *leader* duty: the leader
+tracks heartbeats and proposes a ``CloseSessionTxn`` when a session goes
+quiet (mirroring ZooKeeper's session tracker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Session", "SessionTable", "HeartbeatTracker"]
+
+
+@dataclass
+class Session:
+    """Replicated session record."""
+
+    session_id: int
+    timeout_ms: float
+    client_id: str = ""
+    closed: bool = False
+
+
+class SessionTable:
+    """Deterministic, replicated session registry (applied via txns)."""
+
+    def __init__(self):
+        self._sessions: Dict[int, Session] = {}
+
+    def create(self, session_id: int, timeout_ms: float,
+               client_id: str = "") -> Session:
+        session = Session(session_id, timeout_ms, client_id)
+        self._sessions[session_id] = session
+        return session
+
+    def close(self, session_id: int) -> Optional[Session]:
+        session = self._sessions.pop(session_id, None)
+        if session is not None:
+            session.closed = True
+        return session
+
+    def get(self, session_id: int) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    def __contains__(self, session_id: int) -> bool:
+        return session_id in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def ids(self) -> List[int]:
+        return sorted(self._sessions)
+
+    def snapshot(self) -> dict:
+        return {
+            sid: (s.timeout_ms, s.client_id)
+            for sid, s in self._sessions.items()
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._sessions = {
+            sid: Session(sid, timeout_ms, client_id)
+            for sid, (timeout_ms, client_id) in snapshot.items()
+        }
+
+
+@dataclass
+class HeartbeatTracker:
+    """Leader-local view of session liveness (not replicated).
+
+    The leader calls :meth:`touch` on every request or ping from a session
+    and periodically asks :meth:`expired` which sessions went silent.
+    """
+
+    _last_seen: Dict[int, float] = field(default_factory=dict)
+    _timeouts: Dict[int, float] = field(default_factory=dict)
+
+    def track(self, session_id: int, timeout_ms: float, now: float) -> None:
+        self._timeouts[session_id] = timeout_ms
+        self._last_seen[session_id] = now
+
+    def touch(self, session_id: int, now: float) -> None:
+        if session_id in self._timeouts:
+            self._last_seen[session_id] = now
+
+    def forget(self, session_id: int) -> None:
+        self._last_seen.pop(session_id, None)
+        self._timeouts.pop(session_id, None)
+
+    def expired(self, now: float) -> List[int]:
+        """Sessions whose silence exceeds their timeout."""
+        return sorted(
+            sid for sid, seen in self._last_seen.items()
+            if now - seen > self._timeouts[sid])

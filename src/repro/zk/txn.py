@@ -1,0 +1,216 @@
+"""Wire-level operation and transaction types for the ZooKeeper substrate.
+
+*Operations* are what clients send; *transactions* are what the leader's
+prep stage turns update operations into. Transactions are deterministic
+and unconditional — all validation (version checks, existence checks,
+sequential-suffix resolution) happens once at prep time, so applying a
+transaction at any replica cannot fail. Failed validations become
+:class:`ErrorTxn` so the zxid stream stays gapless (mirroring ZooKeeper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    # client operations
+    "Op", "CreateOp", "DeleteOp", "SetDataOp", "GetDataOp", "GetChildrenOp",
+    "ExistsOp", "MultiOp", "CreateSessionOp", "CloseSessionOp", "PingOp",
+    # transactions
+    "Txn", "CreateTxn", "DeleteTxn", "SetDataTxn", "MultiTxn",
+    "CreateSessionTxn", "CloseSessionTxn", "ErrorTxn",
+    # envelopes
+    "RequestMeta", "ClientRequest", "ClientReply", "WatchNotification",
+    "TxnRecord", "is_update",
+]
+
+
+# ---------------------------------------------------------------------------
+# Client operations
+# ---------------------------------------------------------------------------
+
+class Op:
+    """Marker base class for client operations."""
+
+
+@dataclass
+class CreateOp(Op):
+    path: str
+    data: bytes = b""
+    ephemeral: bool = False
+    sequential: bool = False
+
+
+@dataclass
+class DeleteOp(Op):
+    path: str
+    version: int = -1
+
+
+@dataclass
+class SetDataOp(Op):
+    path: str
+    data: bytes = b""
+    version: int = -1
+
+
+@dataclass
+class GetDataOp(Op):
+    path: str
+    watch: bool = False
+
+
+@dataclass
+class GetChildrenOp(Op):
+    path: str
+    watch: bool = False
+
+
+@dataclass
+class ExistsOp(Op):
+    path: str
+    watch: bool = False
+
+
+@dataclass
+class MultiOp(Op):
+    """Atomic batch of update operations (ZooKeeper ``multi``)."""
+
+    ops: List[Op] = field(default_factory=list)
+
+
+@dataclass
+class CreateSessionOp(Op):
+    timeout_ms: float = 6000.0
+    client_id: str = ""
+
+
+@dataclass
+class CloseSessionOp(Op):
+    pass
+
+
+@dataclass
+class PingOp(Op):
+    pass
+
+
+_UPDATE_OPS = (CreateOp, DeleteOp, SetDataOp, MultiOp,
+               CreateSessionOp, CloseSessionOp)
+
+
+def is_update(op: Op) -> bool:
+    """True for operations that must flow through the ordered pipeline."""
+    return isinstance(op, _UPDATE_OPS)
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+class Txn:
+    """Marker base class for replicated transactions."""
+
+
+@dataclass
+class CreateTxn(Txn):
+    path: str               # final path (sequential suffix already resolved)
+    data: bytes = b""
+    ephemeral_owner: Optional[int] = None
+
+
+@dataclass
+class DeleteTxn(Txn):
+    path: str
+
+
+@dataclass
+class SetDataTxn(Txn):
+    path: str
+    data: bytes = b""
+
+
+@dataclass
+class MultiTxn(Txn):
+    """Atomic batch; EZK piggybacks extension results in ``result_payload``.
+
+    ``effects`` carries non-state side effects an extension requested,
+    e.g. ``("block", path)`` to defer the client's reply until ``path``
+    is created (the server interprets them at apply time).
+    """
+
+    txns: List[Txn] = field(default_factory=list)
+    result_payload: Any = None
+    #: True when result_payload is meaningful (extensions may legitimately
+    #: return None, so presence cannot be inferred from the value).
+    payload_set: bool = False
+    effects: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class CreateSessionTxn(Txn):
+    session_id: int
+    timeout_ms: float
+    client_id: str = ""
+
+
+@dataclass
+class CloseSessionTxn(Txn):
+    session_id: int
+
+
+@dataclass
+class ErrorTxn(Txn):
+    """A rejected update: keeps the zxid stream gapless, carries the error."""
+
+    code: str
+    message: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Envelopes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RequestMeta:
+    """Routing info a transaction carries so the right replica replies."""
+
+    origin_replica: str     # replica the client is connected to
+    client_node: str        # network id of the client
+    session_id: int
+    xid: int                # client-assigned request id
+
+
+@dataclass
+class ClientRequest:
+    session_id: int
+    xid: int
+    op: Op
+
+
+@dataclass
+class ClientReply:
+    xid: int
+    ok: bool
+    value: Any = None
+    error_code: str = ""
+    error_message: str = ""
+
+
+@dataclass
+class WatchNotification:
+    """Server -> client push when an armed watch fires."""
+
+    session_id: int
+    event_type: str
+    path: str
+
+
+@dataclass
+class TxnRecord:
+    """One slot in the replicated log."""
+
+    zxid: int
+    txn: Txn
+    meta: Optional[RequestMeta] = None

@@ -1,0 +1,466 @@
+"""Zab-like primary-backup atomic broadcast.
+
+A deliberately compact rendition of ZooKeeper's replication protocol
+with the properties the paper's evaluation depends on:
+
+* the **leader** turns updates into transactions, assigns them gapless
+  zxids ``(epoch << 32) | counter``, and streams PROPOSALs to followers;
+* followers append in FIFO order and ACK; the leader commits an entry
+  once a **majority** (itself included) has acked, delivers it locally,
+  and broadcasts COMMIT;
+* committed entries are delivered **in zxid order, exactly once** at
+  every live replica;
+* on leader failure, followers elect the reachable replica with the
+  highest ``(last_zxid, node_id)`` and the new leader syncs everyone with
+  its log (full-log sync — fine at simulation scale);
+* a replica recovering from a crash rejoins by asking the current leader
+  for a sync.
+
+Durable state (log + committed pointer) survives a simulated crash,
+modelling an fsync'd transaction log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from ..sim import Environment
+from .txn import RequestMeta, Txn, TxnRecord
+
+__all__ = ["ZabConfig", "ZabPeer", "Role", "NotLeaderError", "make_zxid",
+           "zxid_epoch", "zxid_counter"]
+
+
+def make_zxid(epoch: int, counter: int) -> int:
+    return (epoch << 32) | counter
+
+
+def zxid_epoch(zxid: int) -> int:
+    return zxid >> 32
+
+def zxid_counter(zxid: int) -> int:
+    return zxid & 0xFFFFFFFF
+
+
+class NotLeaderError(Exception):
+    """propose() was called on a non-leader peer."""
+
+
+class Role(str, Enum):
+    LEADER = "LEADER"
+    FOLLOWER = "FOLLOWER"
+    LOOKING = "LOOKING"
+
+
+@dataclass
+class ZabConfig:
+    heartbeat_ms: float = 50.0
+    election_timeout_ms: float = 200.0
+    election_window_ms: float = 60.0
+
+
+# -- protocol messages --------------------------------------------------------
+
+@dataclass
+class Proposal:
+    epoch: int
+    record: TxnRecord
+
+
+@dataclass
+class Ack:
+    epoch: int
+    zxid: int
+
+
+@dataclass
+class Commit:
+    epoch: int
+    zxid: int
+
+
+@dataclass
+class Heartbeat:
+    epoch: int
+    leader_id: str
+    committed_zxid: int
+
+
+@dataclass
+class Vote:
+    term: int
+    last_zxid: int
+    node_id: str
+
+
+@dataclass
+class CurrentLeader:
+    epoch: int
+    leader_id: str
+
+
+@dataclass
+class NewLeader:
+    epoch: int
+    log: List[TxnRecord]
+    committed_zxid: int
+
+
+@dataclass
+class NewLeaderAck:
+    epoch: int
+
+
+@dataclass
+class SyncRequest:
+    last_zxid: int
+
+
+class ZabPeer:
+    """One replica's endpoint of the broadcast protocol."""
+
+    def __init__(self, env: Environment, node_id: str, peer_ids: List[str],
+                 send: Callable[[str, object], None],
+                 deliver: Callable[[TxnRecord], None],
+                 config: Optional[ZabConfig] = None):
+        self.env = env
+        self.node_id = node_id
+        self.peer_ids = [p for p in peer_ids if p != node_id]
+        self.n = len(peer_ids)
+        self.quorum = self.n // 2 + 1
+        self._send = send
+        self._deliver = deliver
+        self.config = config or ZabConfig()
+
+        self.role = Role.LOOKING
+        self.epoch = 0
+        self.leader_id: Optional[str] = None
+        self.log: List[TxnRecord] = []
+        self.committed_zxid = 0
+        self._delivered_upto = 0      # index into log, not zxid
+        self._counter = 0
+
+        # leader bookkeeping
+        self._acked: Dict[str, int] = {}
+        self._establish_acks: set[str] = set()
+        self._established = False
+
+        # election bookkeeping
+        self._votes: Dict[str, tuple[int, str]] = {}
+        self._term = 0
+        self._election_pending = False
+        self._last_leader_contact = env.now
+        self._alive = True
+        self.on_role_change: Optional[Callable[[], None]] = None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self._alive and self.role is Role.LEADER and self._established
+
+    @property
+    def last_zxid(self) -> int:
+        return self.log[-1].zxid if self.log else 0
+
+    # -- bootstrap ---------------------------------------------------------
+
+    def bootstrap(self, leader_id: str, epoch: int = 1) -> None:
+        """Establish an initial configuration without running an election."""
+        self.epoch = epoch
+        self._term = epoch
+        self.leader_id = leader_id
+        if leader_id == self.node_id:
+            self.role = Role.LEADER
+            self._established = True
+            self._acked = {self.node_id: 0}
+        else:
+            self.role = Role.FOLLOWER
+        self._last_leader_contact = self.env.now
+        self.env.process(self._heartbeat_loop())
+        self.env.process(self._failure_detector_loop())
+
+    # -- crash / recovery --------------------------------------------------
+
+    def crash(self) -> None:
+        """Stop participating. Log and committed pointer persist (disk)."""
+        self._alive = False
+
+    def recover(self) -> None:
+        """Come back up; rejoin by looking for the current leader."""
+        self._alive = True
+        self.role = Role.LOOKING
+        self.leader_id = None
+        self._established = False
+        self._last_leader_contact = self.env.now
+        # Probe for a leader; if none answers, the failure detector will
+        # eventually start an election.
+        for peer in self.peer_ids:
+            self._send(peer, SyncRequest(self.last_zxid))
+        self.env.process(self._heartbeat_loop())
+        self.env.process(self._failure_detector_loop())
+
+    # -- client of the protocol -----------------------------------------------
+
+    def propose(self, txn: Txn, meta: Optional[RequestMeta] = None) -> int:
+        """Leader-only: append an update to the replicated log."""
+        if not self.is_leader:
+            raise NotLeaderError(self.node_id)
+        self._counter += 1
+        zxid = make_zxid(self.epoch, self._counter)
+        record = TxnRecord(zxid=zxid, txn=txn, meta=meta)
+        self.log.append(record)
+        self._acked[self.node_id] = zxid
+        for peer in self.peer_ids:
+            self._send(peer, Proposal(self.epoch, record))
+        self._advance_commit()
+        return zxid
+
+    # -- message dispatch ------------------------------------------------------
+
+    def handle(self, src: str, msg: object) -> bool:
+        """Process a protocol message; returns False if not a Zab message."""
+        if not self._alive:
+            return True
+        if isinstance(msg, Proposal):
+            self._on_proposal(src, msg)
+        elif isinstance(msg, Ack):
+            self._on_ack(src, msg)
+        elif isinstance(msg, Commit):
+            self._on_commit(src, msg)
+        elif isinstance(msg, Heartbeat):
+            self._on_heartbeat(src, msg)
+        elif isinstance(msg, Vote):
+            self._on_vote(src, msg)
+        elif isinstance(msg, CurrentLeader):
+            self._on_current_leader(src, msg)
+        elif isinstance(msg, NewLeader):
+            self._on_new_leader(src, msg)
+        elif isinstance(msg, NewLeaderAck):
+            self._on_new_leader_ack(src, msg)
+        elif isinstance(msg, SyncRequest):
+            self._on_sync_request(src, msg)
+        else:
+            return False
+        return True
+
+    # -- replication ---------------------------------------------------------
+
+    def _on_proposal(self, src: str, msg: Proposal) -> None:
+        if msg.epoch < self.epoch or self.role is not Role.FOLLOWER:
+            return
+        if src != self.leader_id:
+            return
+        # FIFO channels make proposals arrive in order within an epoch.
+        if self.log and msg.record.zxid <= self.last_zxid:
+            return  # duplicate
+        zxid = msg.record.zxid
+        if zxid_epoch(self.last_zxid) == zxid_epoch(zxid):
+            expected = self.last_zxid + 1
+        else:
+            expected = make_zxid(zxid_epoch(zxid), 1)
+        if zxid != expected:
+            # We missed something (e.g. a healed partition): resync.
+            self._send(src, SyncRequest(self.last_zxid))
+            return
+        self.log.append(msg.record)
+        self._send(src, Ack(self.epoch, msg.record.zxid))
+
+    def _on_ack(self, src: str, msg: Ack) -> None:
+        if self.role is not Role.LEADER or msg.epoch != self.epoch:
+            return
+        previous = self._acked.get(src, 0)
+        if msg.zxid > previous:
+            self._acked[src] = msg.zxid
+        self._advance_commit()
+
+    def _advance_commit(self) -> None:
+        if not self.is_leader:
+            return
+        acked = sorted(self._acked.values(), reverse=True)
+        if len(acked) < self.quorum:
+            return
+        candidate = acked[self.quorum - 1]
+        # Only commit entries from the current epoch directly (older entries
+        # are committed transitively, as in Raft/Zab).
+        if candidate <= self.committed_zxid:
+            return
+        if zxid_epoch(candidate) != self.epoch:
+            return
+        self.committed_zxid = candidate
+        self._deliver_committed()
+        for peer in self.peer_ids:
+            self._send(peer, Commit(self.epoch, candidate))
+
+    def _on_commit(self, src: str, msg: Commit) -> None:
+        if self.role is not Role.FOLLOWER or src != self.leader_id:
+            return
+        if msg.zxid > self.committed_zxid:
+            self.committed_zxid = msg.zxid
+            self._deliver_committed()
+
+    def _deliver_committed(self) -> None:
+        while (self._delivered_upto < len(self.log)
+               and self.log[self._delivered_upto].zxid <= self.committed_zxid):
+            record = self.log[self._delivered_upto]
+            self._delivered_upto += 1
+            self._deliver(record)
+
+    # -- liveness ----------------------------------------------------------
+
+    def _heartbeat_loop(self):
+        while self._alive:
+            if self.is_leader:
+                beat = Heartbeat(self.epoch, self.node_id, self.committed_zxid)
+                for peer in self.peer_ids:
+                    self._send(peer, beat)
+            yield self.env.timeout(self.config.heartbeat_ms)
+
+    def _failure_detector_loop(self):
+        while self._alive:
+            yield self.env.timeout(self.config.heartbeat_ms)
+            if self.role is Role.LEADER:
+                continue
+            silence = self.env.now - self._last_leader_contact
+            if silence > self.config.election_timeout_ms and not self._election_pending:
+                self._start_election()
+
+    def _on_heartbeat(self, src: str, msg: Heartbeat) -> None:
+        if msg.epoch < self.epoch:
+            return
+        if msg.epoch > self.epoch or self.role is Role.LOOKING:
+            # A leader exists that we did not know about: join it.
+            self.epoch = msg.epoch
+            self._term = max(self._term, msg.epoch)
+            self.leader_id = msg.leader_id
+            self.role = Role.FOLLOWER
+            self._send(src, SyncRequest(self.last_zxid))
+        self._last_leader_contact = self.env.now
+        if (self.role is Role.FOLLOWER and src == self.leader_id
+                and msg.committed_zxid > self.committed_zxid):
+            # Commit catch-up: only up to what we actually hold.
+            self.committed_zxid = min(msg.committed_zxid, self.last_zxid)
+            self._deliver_committed()
+
+    # -- election ------------------------------------------------------------
+
+    def _start_election(self) -> None:
+        self.role = Role.LOOKING
+        self._established = False
+        self.leader_id = None
+        self._term += 1
+        self._votes = {self.node_id: (self.last_zxid, self.node_id)}
+        self._election_pending = True
+        vote = Vote(self._term, self.last_zxid, self.node_id)
+        for peer in self.peer_ids:
+            self._send(peer, vote)
+        self.env.process(self._election_decision())
+
+    def _election_decision(self):
+        yield self.env.timeout(self.config.election_window_ms)
+        self._election_pending = False
+        if not self._alive or self.role is not Role.LOOKING:
+            return
+        if len(self._votes) < self.quorum:
+            # Not enough participants reachable; retry after a timeout.
+            self._last_leader_contact = self.env.now
+            return
+        winner = max(self._votes.values())[1]
+        if winner == self.node_id:
+            self._become_leader()
+        # Otherwise wait for the winner's NewLeader message.
+
+    def _on_vote(self, src: str, msg: Vote) -> None:
+        if msg.term < self._term:
+            return
+        fresh_leader = (self.leader_id is not None
+                        and (self.env.now - self._last_leader_contact)
+                        <= self.config.election_timeout_ms)
+        if self.role is not Role.LOOKING and fresh_leader:
+            # We know a live leader; tell the candidate instead of joining.
+            self._send(src, CurrentLeader(self.epoch, self.leader_id))
+            return
+        if msg.term > self._term:
+            self._term = msg.term
+            self.role = Role.LOOKING
+            self._established = False
+            self.leader_id = None
+            self._votes = {self.node_id: (self.last_zxid, self.node_id)}
+            vote = Vote(self._term, self.last_zxid, self.node_id)
+            for peer in self.peer_ids:
+                self._send(peer, vote)
+            if not self._election_pending:
+                self._election_pending = True
+                self.env.process(self._election_decision())
+        self._votes[msg.node_id] = (msg.last_zxid, msg.node_id)
+
+    def _on_current_leader(self, src: str, msg: CurrentLeader) -> None:
+        if msg.epoch >= self.epoch and self.role is Role.LOOKING:
+            self.epoch = msg.epoch
+            self.leader_id = msg.leader_id
+            self.role = Role.FOLLOWER
+            self._last_leader_contact = self.env.now
+            self._send(msg.leader_id, SyncRequest(self.last_zxid))
+
+    def _become_leader(self) -> None:
+        self.epoch = self._term
+        self.role = Role.LEADER
+        self.leader_id = self.node_id
+        self._counter = 0
+        self._acked = {self.node_id: self.last_zxid}
+        self._establish_acks = {self.node_id}
+        self._established = False
+        sync = NewLeader(self.epoch, list(self.log), self.last_zxid)
+        for peer in self.peer_ids:
+            self._send(peer, sync)
+        if self.quorum == 1:  # degenerate single-node ensemble
+            self._finish_establishment()
+
+    def _on_new_leader(self, src: str, msg: NewLeader) -> None:
+        if msg.epoch < self.epoch:
+            return
+        self.epoch = msg.epoch
+        self._term = max(self._term, msg.epoch)
+        self.leader_id = src
+        self.role = Role.FOLLOWER
+        self._last_leader_contact = self.env.now
+        # Adopt the leader's log wholesale, preserving our delivery progress.
+        delivered_zxid = (self.log[self._delivered_upto - 1].zxid
+                          if self._delivered_upto else 0)
+        self.log = list(msg.log)
+        self._delivered_upto = sum(
+            1 for record in self.log if record.zxid <= delivered_zxid)
+        if msg.committed_zxid > self.committed_zxid:
+            self.committed_zxid = msg.committed_zxid
+        self._deliver_committed()
+        self._send(src, NewLeaderAck(self.epoch))
+        if self.on_role_change:
+            self.on_role_change()
+
+    def _on_new_leader_ack(self, src: str, msg: NewLeaderAck) -> None:
+        if self.role is not Role.LEADER or msg.epoch != self.epoch:
+            return
+        self._establish_acks.add(src)
+        self._acked[src] = self.last_zxid
+        if len(self._establish_acks) >= self.quorum and not self._established:
+            self._finish_establishment()
+
+    def _finish_establishment(self) -> None:
+        self._established = True
+        # Commit the whole inherited log (Zab: NEW_LEADER quorum-ack implies
+        # everything in the new leader's history is committed).
+        if self.last_zxid > self.committed_zxid:
+            self.committed_zxid = self.last_zxid
+        self._deliver_committed()
+        for peer in self.peer_ids:
+            self._send(peer, Commit(self.epoch, self.committed_zxid))
+        if self.on_role_change:
+            self.on_role_change()
+
+    def _on_sync_request(self, src: str, msg: SyncRequest) -> None:
+        if self.role is not Role.LEADER:
+            return
+        self._send(src, NewLeader(self.epoch, list(self.log),
+                                  self.committed_zxid))

@@ -1,0 +1,6 @@
+"""Shared helpers for recipe tests — re-exported from the bench package."""
+
+from repro.bench.systems import (EXTENSIBLE, SYSTEMS, make_coords,
+                                 make_ensemble, run_all)
+
+__all__ = ["SYSTEMS", "EXTENSIBLE", "make_ensemble", "make_coords", "run_all"]

@@ -1,0 +1,157 @@
+"""Unit tests for the Table 2 adapters and op/event descriptors."""
+
+import pytest
+
+from repro.bench import make_coords, make_ensemble, run_all
+from repro.core import OperationRequest
+from repro.depspace import ANY, Prefix
+from repro.depspace.protocol import (InOp, InpOp, OutOp, RdAllOp, RdOp,
+                                     RdpOp, RenewOp, ReplaceOp)
+from repro.eds import describe_ds_op
+from repro.ezk import describe_zk_op
+from repro.zk.txn import (CreateOp, DeleteOp, ExistsOp, GetChildrenOp,
+                          GetDataOp, MultiOp, PingOp, SetDataOp)
+
+
+class TestDescribeZkOp:
+    def test_read(self):
+        req = describe_zk_op(GetDataOp("/x"), "7")
+        assert (req.op_type, req.object_id, req.client_id) == ("read", "/x", "7")
+
+    def test_update_carries_data_and_version(self):
+        req = describe_zk_op(SetDataOp("/x", b"d", 3), "7")
+        assert req.op_type == "update"
+        assert req.data == b"d"
+        assert req.params["version"] == 3
+
+    def test_create_flags(self):
+        req = describe_zk_op(CreateOp("/x", b"", True, True), "7")
+        assert req.op_type == "create"
+        assert req.params == {"ephemeral": True, "sequential": True}
+
+    def test_delete_and_children(self):
+        assert describe_zk_op(DeleteOp("/x"), "7").op_type == "delete"
+        assert describe_zk_op(GetChildrenOp("/x"), "7").op_type == "sub_objects"
+
+    def test_exists_watch_is_block(self):
+        assert describe_zk_op(ExistsOp("/x", watch=True), "7").op_type == "block"
+        assert describe_zk_op(ExistsOp("/x", watch=False), "7").op_type == "exists"
+
+    def test_unmappable_ops(self):
+        assert describe_zk_op(MultiOp([]), "7") is None
+        assert describe_zk_op(PingOp(), "7") is None
+
+
+class TestDescribeDsOp:
+    def test_object_convention_reads(self):
+        assert describe_ds_op(RdpOp(("/x", ANY)), "c").op_type == "read"
+        assert describe_ds_op(RdOp(("/x", ANY)), "c").op_type == "block"
+        assert describe_ds_op(InOp(("/x", ANY)), "c").op_type == "block"
+
+    def test_object_convention_writes(self):
+        create = describe_ds_op(OutOp(("/x", b"d")), "c")
+        assert (create.op_type, create.data) == ("create", b"d")
+        assert describe_ds_op(InpOp(("/x", ANY)), "c").op_type == "delete"
+        update = describe_ds_op(ReplaceOp(("/x", ANY), ("/x", b"n")), "c")
+        assert update.op_type == "update"
+
+    def test_sub_objects_prefix(self):
+        req = describe_ds_op(RdAllOp((Prefix("/q/"), ANY)), "c")
+        assert (req.op_type, req.object_id) == ("sub_objects", "/q")
+
+    def test_non_object_tuples_unmapped(self):
+        assert describe_ds_op(OutOp((1, 2, 3)), "c") is None
+        assert describe_ds_op(RdpOp((ANY, ANY)), "c") is None
+        assert describe_ds_op(RenewOp(), "c") is None
+
+
+def build(kind):
+    ensemble = make_ensemble(kind, seed=55)
+    coords, raw = make_coords(ensemble, kind, 2)
+    return ensemble, coords, raw
+
+
+@pytest.mark.parametrize("kind", ("zk", "ds"))
+class TestAdapterSemantics:
+    def test_crud_round_trip(self, kind):
+        ensemble, (coord, _), _raw = build(kind)
+
+        def scenario():
+            yield from coord.create("/obj", b"v1")
+            data = yield from coord.read("/obj")
+            assert data == b"v1"
+            yield from coord.update("/obj", b"v2")
+            assert (yield from coord.read("/obj")) == b"v2"
+            deleted = yield from coord.delete("/obj")
+            assert deleted is True
+            deleted_again = yield from coord.delete("/obj")
+            return deleted_again
+
+        assert run_all(ensemble, scenario())[0] is False
+
+    def test_cas_requires_current_value(self, kind):
+        ensemble, (coord, other), _raw = build(kind)
+
+        def scenario():
+            yield from coord.create("/c", b"0")
+            yield from coord.read("/c")
+            # Another client sneaks an update in.
+            yield from other.update("/c", b"surprise")
+            lost = yield from coord.cas("/c", b"0", b"1")
+            yield from coord.read("/c")
+            won = yield from coord.cas("/c", b"surprise", b"1")
+            return lost, won
+
+        lost, won = run_all(ensemble, scenario())[0]
+        assert lost is False
+        assert won is True
+
+    def test_sub_objects_creation_order(self, kind):
+        ensemble, (coord, _), _raw = build(kind)
+
+        def scenario():
+            yield from coord.create("/d", b"")
+            yield from coord.create("/d/z", b"1")
+            yield from coord.create("/d/a", b"2")
+            records = yield from coord.sub_objects("/d")
+            return [(r.object_id, r.data) for r in
+                    sorted(records, key=lambda r: r.seq)]
+
+        ordered = run_all(ensemble, scenario())[0]
+        assert ordered == [("/d/z", b"1"), ("/d/a", b"2")]
+
+    def test_monitor_object_reaped_on_death(self, kind):
+        ensemble, (coord, observer), raw = build(kind)
+
+        def register():
+            yield from coord.create("/liveness", b"")
+            own = yield from coord.monitor("/liveness/n-")
+            return own
+
+        own = run_all(ensemble, register())[0]
+        raw[0].kill()
+        ensemble.env.run(until=ensemble.env.now + 5000.0)
+
+        def probe():
+            # Any request forces DepSpace's deterministic lease purge.
+            yield from observer.sub_objects("/liveness")
+            records = yield from observer.sub_objects("/liveness")
+            return [r.object_id for r in records]
+
+        remaining = run_all(ensemble, probe())[0]
+        assert own not in remaining
+
+    def test_block_and_release(self, kind):
+        ensemble, (waiter, creator), _raw = build(kind)
+        log = []
+
+        def blocked():
+            yield from waiter.block("/flag")
+            log.append(ensemble.env.now)
+
+        def releaser():
+            yield ensemble.env.timeout(40.0)
+            yield from creator.create("/flag", b"")
+
+        run_all(ensemble, blocked(), releaser())
+        assert log and log[0] >= 40.0

@@ -1,0 +1,297 @@
+"""End-to-end tests for EXTENSIBLE DEPSPACE."""
+
+import pytest
+
+from repro.core import ExtensionCrashedError, ExtensionRejectedError
+from repro.depspace import ANY, PolicyViolationError
+from repro.eds import EdsEnsemble
+
+COUNTER_EXT = '''
+class CounterIncrement(Extension):
+    def ops_subscriptions(self):
+        return [OperationSubscription(("read",), "/ctr-increment")]
+
+    def handle_operation(self, request, local):
+        c = int(local.read("/ctr"))
+        local.update("/ctr", str(c + 1).encode())
+        return c + 1
+'''
+
+QUEUE_EXT = '''
+class QueueRemove(Extension):
+    def ops_subscriptions(self):
+        return [OperationSubscription(("read",), "/queue/head")]
+
+    def handle_operation(self, request, local):
+        objs = local.sub_objects("/queue")
+        if len(objs) == 0:
+            return None
+        head = objs[0]
+        local.delete(head.object_id)
+        return head.data
+'''
+
+CRASHY_EXT = '''
+class Crashy(Extension):
+    def ops_subscriptions(self):
+        return [OperationSubscription(("read",), "/crashy")]
+
+    def handle_operation(self, request, local):
+        local.create("/partial-write", b"oops")
+        return 1 // 0
+'''
+
+BLOCKING_EXT = '''
+class EnterBarrier(Extension):
+    def ops_subscriptions(self):
+        return [OperationSubscription(("block",), "/gate/*")]
+
+    def handle_operation(self, request, local):
+        name = request.object_id.split("/")[-1]
+        local.create("/arrived/" + name)
+        if len(local.sub_objects("/arrived")) >= 2:
+            local.create("/gate/open")
+            return "opened"
+        local.block("/gate/open")
+        return "blocked"
+'''
+
+EVENT_EXT = '''
+class OnExpire(Extension):
+    def event_subscriptions(self):
+        return [EventSubscription(("deleted",), "/clients/*")]
+
+    def handle_event(self, event, local):
+        name = event.object_id.split("/")[-1]
+        local.create("/expired/" + name)
+'''
+
+
+@pytest.fixture
+def ensemble():
+    ens = EdsEnsemble(f=1, seed=9)
+    ens.start()
+    return ens
+
+
+def run(ensemble, *gens):
+    procs = [ensemble.env.process(g) for g in gens]
+    return [ensemble.env.run(until=p) for p in procs]
+
+
+class TestRegistration:
+    def test_register_on_all_replicas(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.register_extension("ctr-inc", COUNTER_EXT)
+            yield ensemble.env.timeout(50.0)
+
+        run(ensemble, scenario())
+        for binding in ensemble.bindings:
+            assert binding.manager.names() == ["ctr-inc"]
+
+    def test_bad_extension_rejected(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            try:
+                yield from client.register_extension("bad", "import os\n")
+            except ExtensionRejectedError:
+                return "rejected"
+            return "accepted"
+
+        assert run(ensemble, scenario())[0] == "rejected"
+        for binding in ensemble.bindings:
+            assert binding.manager.names() == []
+
+    def test_deregister(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.register_extension("ctr-inc", COUNTER_EXT)
+            yield from client.deregister_extension("ctr-inc")
+            yield ensemble.env.timeout(50.0)
+
+        run(ensemble, scenario())
+        for binding in ensemble.bindings:
+            assert binding.manager.names() == []
+
+    def test_em_space_protected_from_regular_ops(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            try:
+                yield from client.out("spy", b"x", space="_em")
+            except PolicyViolationError:
+                return "blocked"
+            return "allowed"
+
+        assert run(ensemble, scenario())[0] == "blocked"
+
+
+class TestOperationExtensions:
+    def test_counter_extension(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.out("/ctr", b"0")
+            yield from client.register_extension("ctr-inc", COUNTER_EXT)
+            values = []
+            for _ in range(5):
+                value = yield from client.rdp("/ctr-increment", ANY)
+                values.append(value)
+            final = yield from client.rdp("/ctr", ANY)
+            return values, final
+
+        values, final = run(ensemble, scenario())[0]
+        assert values == [1, 2, 3, 4, 5]
+        assert final == ("/ctr", b"5")
+
+    def test_state_consistent_across_replicas(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.out("/ctr", b"0")
+            yield from client.register_extension("ctr-inc", COUNTER_EXT)
+            yield from client.rdp("/ctr-increment", ANY)
+            yield ensemble.env.timeout(100.0)
+
+        run(ensemble, scenario())
+        assert ensemble.spaces_consistent()
+
+    def test_queue_extension(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.register_extension("q-rm", QUEUE_EXT)
+            yield from client.out("/queue/a", b"first")
+            yield from client.out("/queue/b", b"second")
+            h1 = yield from client.rdp("/queue/head", ANY)
+            h2 = yield from client.rdp("/queue/head", ANY)
+            h3 = yield from client.rdp("/queue/head", ANY)
+            return h1, h2, h3
+
+        h1, h2, h3 = run(ensemble, scenario())[0]
+        assert h1 == b"first"
+        assert h2 == b"second"
+        assert h3 is None
+
+    def test_unacked_client_bypasses_extension(self, ensemble):
+        owner = ensemble.client()
+        stranger = ensemble.client()
+
+        def scenario():
+            yield from owner.out("/ctr", b"0")
+            yield from owner.register_extension("ctr-inc", COUNTER_EXT)
+            # Stranger's read is a plain rdp: no /ctr-increment tuple.
+            plain = yield from stranger.rdp("/ctr-increment", ANY)
+            yield from stranger.acknowledge_extension("ctr-inc")
+            boosted = yield from stranger.rdp("/ctr-increment", ANY)
+            return plain, boosted
+
+        plain, boosted = run(ensemble, scenario())[0]
+        assert plain is None
+        assert boosted == 1
+
+    def test_crash_rolls_back_atomically(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.register_extension("crashy", CRASHY_EXT)
+            try:
+                yield from client.rdp("/crashy", ANY)
+            except ExtensionCrashedError:
+                pass
+            else:
+                return "no-error"
+            return (yield from client.rdp("/partial-write", ANY))
+
+        assert run(ensemble, scenario())[0] is None
+        assert ensemble.spaces_consistent()
+
+    def test_blocking_extension(self, ensemble):
+        c1 = ensemble.client()
+        c2 = ensemble.client()
+        log = []
+
+        def register():
+            yield from c1.register_extension("barrier", BLOCKING_EXT)
+            yield from c2.acknowledge_extension("barrier")
+
+        run(ensemble, register())
+
+        def enter(client, name, delay):
+            yield ensemble.env.timeout(delay)
+            value = yield from client.rd("/gate/" + name, ANY)
+            log.append((name, ensemble.env.now))
+            return value
+
+        run(ensemble, enter(c1, "a", 0.0), enter(c2, "b", 50.0))
+        assert len(log) == 2
+        # The first client waited for the second.
+        assert log[0][1] >= 50.0
+
+
+class TestEventExtensions:
+    def test_lease_expiry_triggers_event_extension(self, ensemble):
+        owner = ensemble.client()
+        observer = ensemble.client()
+
+        def scenario():
+            yield from observer.register_extension("on-exp", EVENT_EXT)
+            yield from owner.out("/clients/w1", b"", lease_ms=400.0)
+            owner.kill()
+            yield ensemble.env.timeout(2000.0)
+            # First request after the silence triggers the deterministic
+            # purge (and with it the event extension)...
+            yield from observer.rdp("/poke", ANY)
+            yield ensemble.env.timeout(100.0)
+            # ...whose effect the next read observes.
+            return (yield from observer.rdp("/expired/w1", ANY))
+
+        assert run(ensemble, scenario())[0] is not None
+        assert ensemble.spaces_consistent()
+
+    def test_tuple_removal_triggers_event_extension(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.register_extension("on-exp", EVENT_EXT)
+            yield from client.out("/clients/w2", b"")
+            yield from client.inp("/clients/w2", ANY)
+            yield ensemble.env.timeout(100.0)
+            return (yield from client.rdp("/expired/w2", ANY))
+
+        assert run(ensemble, scenario())[0] is not None
+
+
+class TestRecovery:
+    def test_extensions_survive_replica_recovery(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.out("/ctr", b"0")
+            yield from client.register_extension("ctr-inc", COUNTER_EXT)
+            ensemble.replica("eds2").crash()
+            yield from client.rdp("/ctr-increment", ANY)
+            ensemble.replica("eds2").recover()
+            yield ensemble.env.timeout(3000.0)
+            yield from client.rdp("/ctr-increment", ANY)
+            yield ensemble.env.timeout(200.0)
+
+        run(ensemble, scenario())
+        assert ensemble.binding("eds2").manager.names() == ["ctr-inc"]
+
+    def test_extension_works_after_primary_crash(self, ensemble):
+        client = ensemble.client()
+
+        def scenario():
+            yield from client.out("/ctr", b"0")
+            yield from client.register_extension("ctr-inc", COUNTER_EXT)
+            yield from client.rdp("/ctr-increment", ANY)
+            ensemble.replica("eds0").crash()  # view-0 primary
+            value = yield from client.rdp("/ctr-increment", ANY)
+            return value
+
+        assert run(ensemble, scenario())[0] == 2

@@ -1,0 +1,93 @@
+"""Shape-level assertions for the paper's headline claims (§6).
+
+These are scaled-down versions of the benchmark sweeps (fewer clients,
+shorter windows) so the core claims stay guarded by the fast test
+suite; the full figures live under benchmarks/.
+"""
+
+import pytest
+
+from repro.bench import (run_counter_workload, run_election_workload,
+                         run_queue_workload, run_regular_op_latency)
+
+N = 20           # clients
+WINDOW = 200.0   # simulated ms
+
+
+@pytest.fixture(scope="module")
+def counter_results():
+    return {
+        kind: run_counter_workload(kind, N, warmup_ms=50.0,
+                                   measure_ms=WINDOW)
+        for kind in ("zk", "ezk", "ds", "eds")
+    }
+
+
+class TestCounterClaims:
+    def test_extensions_win_by_an_order_of_magnitude(self, counter_results):
+        r = counter_results
+        assert r["ezk"].throughput_ops > 8 * r["zk"].throughput_ops
+        assert r["eds"].throughput_ops > 8 * r["ds"].throughput_ops
+
+    def test_ezk_outperforms_eds(self, counter_results):
+        # §6.1.1: EZK reaches higher counter throughput than EDS.
+        assert (counter_results["ezk"].throughput_ops
+                > counter_results["eds"].throughput_ops)
+
+    def test_extension_latency_in_low_milliseconds(self, counter_results):
+        assert counter_results["ezk"].mean_latency_ms < 5.0
+        assert counter_results["eds"].mean_latency_ms < 8.0
+
+    def test_traditional_retry_amplification(self, counter_results):
+        # The root cause the paper identifies: tries per success grow
+        # with contention.
+        assert counter_results["zk"].extra["tries_per_success"] > 3.0
+        assert counter_results["ds"].extra["tries_per_success"] > 3.0
+
+
+class TestQueueClaims:
+    @pytest.fixture(scope="class")
+    def queue_results(self):
+        return {
+            kind: run_queue_workload(kind, N, warmup_ms=50.0,
+                                     measure_ms=WINDOW)
+            for kind in ("zk", "ezk", "ds", "eds")
+        }
+
+    def test_factors(self, queue_results):
+        r = queue_results
+        assert r["ezk"].throughput_ops > 4 * r["zk"].throughput_ops
+        assert r["eds"].throughput_ops > 4 * r["ds"].throughput_ops
+
+    def test_bft_clients_send_more_data(self, queue_results):
+        # Request multicast to 3f+1 replicas (§6.1.2).
+        assert (queue_results["eds"].client_kb_per_op
+                > 3 * queue_results["ezk"].client_kb_per_op)
+
+    def test_extension_cost_contention_independent(self, queue_results):
+        solo = run_queue_workload("ezk", 1, warmup_ms=50.0,
+                                  measure_ms=WINDOW)
+        assert (queue_results["ezk"].client_kb_per_op
+                < 1.5 * solo.client_kb_per_op)
+
+
+class TestElectionClaims:
+    def test_signaling_latency_lower_with_extensions(self):
+        zk = run_election_workload("zk", N, warmup_ms=50.0,
+                                   measure_ms=WINDOW)
+        ezk = run_election_workload("ezk", N, warmup_ms=50.0,
+                                    measure_ms=WINDOW)
+        # §6.1.4: the extra confirmation RPC costs the traditional
+        # client real signaling latency.
+        assert (ezk.extra["signaling_latency_ms"]
+                < zk.extra["signaling_latency_ms"])
+        assert ezk.throughput_ops > zk.throughput_ops
+
+
+class TestOverheadClaim:
+    def test_regular_clients_unaffected(self):
+        base = run_regular_op_latency("zk", measure_ms=WINDOW)
+        extensible = run_regular_op_latency("ezk", measure_ms=WINDOW)
+        for key in ("regular_read_ms", "regular_write_ms"):
+            ratio = extensible.extra[key] / base.extra[key]
+            assert 0.95 < ratio < 1.05  # §6.2: negligible (<0.4%)

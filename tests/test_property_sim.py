@@ -1,0 +1,77 @@
+"""Property-based tests for the simulation substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, LatencyModel, Network, estimate_size
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abc"), st.sampled_from("abc"),
+                          st.binary(max_size=16)), max_size=30),
+       st.integers(min_value=0, max_value=2**31))
+def test_network_is_deterministic_per_seed(messages, seed):
+    """Two runs with identical seeds deliver identically."""
+    def run():
+        env = Environment()
+        net = Network(env, seed=seed)
+        log = []
+        for node in "abc":
+            net.register(node, lambda src, msg, node=node:
+                         log.append((env.now, node, src, msg)))
+        for src, dst, payload in messages:
+            net.send(src, dst, payload)
+        env.run()
+        return log
+
+    assert run() == run()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.binary(max_size=32), min_size=1, max_size=20))
+def test_fifo_channels_never_reorder(payloads):
+    """All messages on one (src, dst) channel arrive in send order."""
+    env = Environment()
+    net = Network(env, latency=LatencyModel(jitter_ms=5.0), seed=3)
+    received = []
+    net.register("dst", lambda src, msg: received.append(msg))
+    for i, payload in enumerate(payloads):
+        net.send("src", "dst", (i, payload))
+    env.run()
+    assert [i for i, _p in received] == sorted(i for i, _p in received)
+    assert len(received) == len(payloads)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=20))
+def test_timeouts_fire_in_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        timer = env.timeout(delay, value=delay)
+        timer.add_callback(lambda e: fired.append(e.value))
+    env.run()
+    assert fired == sorted(delays)
+    if delays:
+        assert env.now == max(delays)
+
+
+@settings(max_examples=200)
+@given(st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+              st.text(max_size=8), st.binary(max_size=8)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=4)),
+    max_leaves=10))
+def test_estimate_size_is_positive_and_stable(payload):
+    size = estimate_size(payload)
+    assert size >= 1
+    assert estimate_size(payload) == size
+
+
+@settings(max_examples=50)
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_estimate_size_monotone_in_payload(a, b):
+    """A strictly larger bytes payload never estimates smaller."""
+    small, large = sorted((a, b), key=len)
+    assert estimate_size(small) <= estimate_size(large)

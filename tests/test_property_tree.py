@@ -1,0 +1,145 @@
+"""Property-based tests: DataTree vs. a naive model, overlay equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zk import DataTree, TreeOverlay, ZkError
+from repro.zk.server import _apply_txn_to_tree
+
+# Small path alphabet so operations actually collide.
+_NAMES = ("a", "b", "c")
+_PATHS = tuple(
+    f"/{x}" for x in _NAMES
+) + tuple(
+    f"/{x}/{y}" for x in _NAMES for y in _NAMES
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.sampled_from(_PATHS),
+                  st.binary(max_size=4)),
+        st.tuples(st.just("set"), st.sampled_from(_PATHS),
+                  st.binary(max_size=4)),
+        st.tuples(st.just("delete"), st.sampled_from(_PATHS),
+                  st.just(b"")),
+    ),
+    max_size=30,
+)
+
+
+def _apply_model(model, op, path, data):
+    """Naive dict model: path -> data, with parent/child checks."""
+    parent = path.rsplit("/", 1)[0] or "/"
+    children = [p for p in model if p != path and p.startswith(path + "/")]
+    if op == "create":
+        if path in model or (parent != "/" and parent not in model):
+            raise KeyError
+        model[path] = data
+    elif op == "set":
+        if path not in model:
+            raise KeyError
+        model[path] = data
+    elif op == "delete":
+        if path not in model or children:
+            raise KeyError
+        del model[path]
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS)
+def test_tree_matches_naive_model(ops):
+    tree = DataTree()
+    model = {}
+    for op, path, data in ops:
+        tree_failed = model_failed = False
+        try:
+            if op == "create":
+                tree.create(path, data)
+            elif op == "set":
+                tree.set_data(path, data)
+            else:
+                tree.delete(path)
+        except ZkError:
+            tree_failed = True
+        try:
+            _apply_model(model, op, path, data)
+        except KeyError:
+            model_failed = True
+        assert tree_failed == model_failed, (op, path)
+    for path, data in model.items():
+        assert tree.get_data(path)[0] == data
+    assert len(tree) == len(model) + 1  # the root
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS)
+def test_overlay_replay_equals_direct_application(ops):
+    """Applying an overlay's txn list to the base reproduces its view."""
+    base = DataTree()
+    base.create("/a", b"seed")
+    view = TreeOverlay(base)
+    applied = []
+    for op, path, data in ops:
+        try:
+            if op == "create":
+                view.create(path, data)
+            elif op == "set":
+                view.set_data(path, data)
+            else:
+                view.delete(path)
+            applied.append((op, path))
+        except ZkError:
+            pass
+
+    replay = DataTree()
+    replay.restore(base.snapshot())
+    for txn in view.txns:
+        _apply_txn_to_tree(replay, txn, zxid=1, now=0.0)
+
+    for path in _PATHS:
+        in_view = view.exists(path)
+        in_replay = replay.exists(path)
+        assert (in_view is None) == (in_replay is None), path
+        if in_view is not None:
+            assert view.get_data(path)[0] == replay.get_data(path)[0]
+            assert in_view.version == in_replay.version
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS)
+def test_overlay_never_mutates_base(ops):
+    base = DataTree()
+    base.create("/a", b"seed")
+    fingerprint = base.fingerprint()
+    view = TreeOverlay(base)
+    for op, path, data in ops:
+        try:
+            if op == "create":
+                view.create(path, data)
+            elif op == "set":
+                view.set_data(path, data)
+            else:
+                view.delete(path)
+        except ZkError:
+            pass
+    assert base.fingerprint() == fingerprint
+
+
+@settings(max_examples=40, deadline=None)
+@given(_OPS)
+def test_snapshot_restore_identity(ops):
+    tree = DataTree()
+    for op, path, data in ops:
+        try:
+            if op == "create":
+                tree.create(path, data)
+            elif op == "set":
+                tree.set_data(path, data)
+            else:
+                tree.delete(path)
+        except ZkError:
+            pass
+    clone = DataTree()
+    clone.restore(tree.snapshot())
+    assert clone.fingerprint() == tree.fingerprint()
+    assert sorted(clone.paths()) == sorted(tree.paths())

@@ -1,0 +1,120 @@
+"""Property-based tests for tuple matching and the tuple space."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.depspace import ANY, Prefix, TupleSpace, matches
+
+_FIELDS = st.one_of(
+    st.text(alphabet="abc/", max_size=6),
+    st.integers(min_value=-5, max_value=5),
+    st.binary(max_size=3),
+    st.booleans(),
+    st.none(),
+)
+_TUPLES = st.lists(_FIELDS, min_size=1, max_size=4).map(tuple)
+
+
+@settings(max_examples=200)
+@given(_TUPLES)
+def test_concrete_tuple_matches_itself(entry):
+    assert matches(entry, entry)
+
+
+@settings(max_examples=200)
+@given(_TUPLES)
+def test_all_any_template_matches_everything(entry):
+    template = tuple(ANY for _ in entry)
+    assert matches(template, entry)
+
+
+@settings(max_examples=200)
+@given(_TUPLES, st.integers(min_value=0, max_value=3))
+def test_single_any_generalizes(entry, index):
+    index = index % len(entry)
+    template = tuple(ANY if i == index else f
+                     for i, f in enumerate(entry))
+    assert matches(template, entry)
+
+
+@settings(max_examples=200)
+@given(_TUPLES, _TUPLES)
+def test_length_mismatch_never_matches(a, b):
+    if len(a) != len(b):
+        assert not matches(a, b)
+
+
+@settings(max_examples=200)
+@given(st.text(alphabet="ab/", max_size=5), st.text(alphabet="ab/", max_size=8))
+def test_prefix_semantics(prefix, value):
+    template = (Prefix(prefix),)
+    assert matches(template, (value,)) == value.startswith(prefix)
+
+
+class _NaiveSpace:
+    """List-based model of the tuple space."""
+
+    def __init__(self):
+        self.items = []
+
+    def out(self, entry):
+        self.items.append(tuple(entry))
+
+    def rdp(self, template):
+        for item in self.items:
+            if matches(template, item):
+                return item
+        return None
+
+    def inp(self, template):
+        for i, item in enumerate(self.items):
+            if matches(template, item):
+                return self.items.pop(i)
+        return None
+
+    def rdall(self, template):
+        return [item for item in self.items if matches(template, item)]
+
+
+_SPACE_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("out"), _TUPLES),
+        st.tuples(st.just("rdp"), _TUPLES),
+        st.tuples(st.just("inp"), _TUPLES),
+        st.tuples(st.just("rdall"), _TUPLES),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_SPACE_OPS)
+def test_space_matches_naive_model(ops):
+    space = TupleSpace()
+    model = _NaiveSpace()
+    for op, arg in ops:
+        if op == "out":
+            space.out(arg)
+            model.out(arg)
+        elif op == "rdp":
+            assert space.rdp(arg) == model.rdp(arg)
+        elif op == "inp":
+            assert space.inp(arg) == model.inp(arg)
+        else:
+            assert space.rdall(arg) == model.rdall(arg)
+    assert sorted(map(repr, space)) == sorted(map(repr, model.items))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_SPACE_OPS)
+def test_snapshot_restore_preserves_behaviour(ops):
+    space = TupleSpace()
+    for op, arg in ops:
+        if op == "out":
+            space.out(arg)
+        elif op == "inp":
+            space.inp(arg)
+    clone = TupleSpace()
+    clone.restore(space.snapshot())
+    assert clone.fingerprint() == space.fingerprint()
+    probe = (ANY,)
+    assert clone.rdall(probe) == space.rdall(probe)

@@ -1,0 +1,236 @@
+"""Unit tests for the znode tree."""
+
+import pytest
+
+from repro.zk import (BadArgumentsError, BadVersionError, DataTree,
+                      NoChildrenForEphemeralsError, NodeExistsError,
+                      NoNodeError, NotEmptyError)
+from repro.zk.data_tree import parent_of, split_path, validate_path
+
+
+@pytest.fixture
+def tree():
+    return DataTree()
+
+
+class TestPaths:
+    def test_validate_rejects_relative(self):
+        with pytest.raises(BadArgumentsError):
+            validate_path("a/b")
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(BadArgumentsError):
+            validate_path("")
+
+    def test_validate_rejects_trailing_slash(self):
+        with pytest.raises(BadArgumentsError):
+            validate_path("/a/")
+
+    def test_validate_rejects_empty_component(self):
+        with pytest.raises(BadArgumentsError):
+            validate_path("/a//b")
+
+    def test_validate_rejects_dots(self):
+        with pytest.raises(BadArgumentsError):
+            validate_path("/a/../b")
+
+    def test_root_is_valid(self):
+        validate_path("/")
+
+    def test_parent_of(self):
+        assert parent_of("/a/b") == "/a"
+        assert parent_of("/a") == "/"
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(BadArgumentsError):
+            parent_of("/")
+
+    def test_split(self):
+        assert split_path("/a/b/c") == ("/a/b", "c")
+        assert split_path("/a") == ("/", "a")
+
+
+class TestCreate:
+    def test_create_and_read(self, tree):
+        tree.create("/a", b"hello", zxid=5, now=1.0)
+        data, stat = tree.get_data("/a")
+        assert data == b"hello"
+        assert stat.czxid == 5
+        assert stat.version == 0
+        assert stat.data_length == 5
+
+    def test_create_requires_parent(self, tree):
+        with pytest.raises(NoNodeError):
+            tree.create("/a/b")
+
+    def test_create_duplicate_rejected(self, tree):
+        tree.create("/a")
+        with pytest.raises(NodeExistsError):
+            tree.create("/a")
+
+    def test_create_updates_parent_stat(self, tree):
+        tree.create("/a")
+        tree.create("/a/b")
+        stat = tree.exists("/a")
+        assert stat.num_children == 1
+        assert stat.cversion == 1
+
+    def test_create_requires_bytes(self, tree):
+        with pytest.raises(BadArgumentsError):
+            tree.create("/a", "not-bytes")
+
+    def test_ephemeral_cannot_have_children(self, tree):
+        tree.create("/e", ephemeral_owner=1)
+        with pytest.raises(NoChildrenForEphemeralsError):
+            tree.create("/e/child")
+
+
+class TestSequential:
+    def test_sequential_names_are_monotone(self, tree):
+        tree.create("/q")
+        first = tree.create("/q/elem-", sequential=True)
+        second = tree.create("/q/elem-", sequential=True)
+        assert first == "/q/elem-0000000000"
+        assert second == "/q/elem-0000000001"
+        assert first < second
+
+    def test_counter_never_reused_after_delete(self, tree):
+        tree.create("/q")
+        first = tree.create("/q/e-", sequential=True)
+        tree.delete(first)
+        second = tree.create("/q/e-", sequential=True)
+        assert second != first
+
+    def test_counter_is_per_parent(self, tree):
+        tree.create("/q1")
+        tree.create("/q2")
+        assert tree.create("/q1/e-", sequential=True).endswith("0000000000")
+        assert tree.create("/q2/e-", sequential=True).endswith("0000000000")
+
+    def test_next_sequential_path_is_pure(self, tree):
+        tree.create("/q")
+        predicted = tree.next_sequential_path("/q/e-")
+        actual = tree.create("/q/e-", sequential=True)
+        assert predicted == actual
+
+
+class TestSetData:
+    def test_set_bumps_version(self, tree):
+        tree.create("/a", b"v0")
+        stat = tree.set_data("/a", b"v1", zxid=9, now=2.0)
+        assert stat.version == 1
+        assert stat.mzxid == 9
+        assert tree.get_data("/a")[0] == b"v1"
+
+    def test_conditional_set_matches(self, tree):
+        tree.create("/a")
+        tree.set_data("/a", b"x", version=0)
+        with pytest.raises(BadVersionError):
+            tree.set_data("/a", b"y", version=0)
+
+    def test_unconditional_set(self, tree):
+        tree.create("/a")
+        tree.set_data("/a", b"x", version=-1)
+        tree.set_data("/a", b"y", version=-1)
+        assert tree.get_data("/a")[0] == b"y"
+
+    def test_set_missing_raises(self, tree):
+        with pytest.raises(NoNodeError):
+            tree.set_data("/ghost", b"")
+
+
+class TestDelete:
+    def test_delete(self, tree):
+        tree.create("/a")
+        tree.delete("/a")
+        assert tree.exists("/a") is None
+
+    def test_delete_with_children_rejected(self, tree):
+        tree.create("/a")
+        tree.create("/a/b")
+        with pytest.raises(NotEmptyError):
+            tree.delete("/a")
+
+    def test_conditional_delete(self, tree):
+        tree.create("/a")
+        tree.set_data("/a", b"x")
+        with pytest.raises(BadVersionError):
+            tree.delete("/a", version=0)
+        tree.delete("/a", version=1)
+
+    def test_delete_root_rejected(self, tree):
+        with pytest.raises(BadArgumentsError):
+            tree.delete("/")
+
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(NoNodeError):
+            tree.delete("/ghost")
+
+
+class TestEphemerals:
+    def test_kill_session_removes_ephemerals(self, tree):
+        tree.create("/e1", ephemeral_owner=7)
+        tree.create("/e2", ephemeral_owner=7)
+        tree.create("/keep", ephemeral_owner=8)
+        doomed = tree.kill_session(7)
+        assert sorted(doomed) == ["/e1", "/e2"]
+        assert tree.exists("/e1") is None
+        assert tree.exists("/keep") is not None
+
+    def test_kill_session_unknown_is_noop(self, tree):
+        assert tree.kill_session(999) == []
+
+    def test_delete_clears_ephemeral_tracking(self, tree):
+        tree.create("/e", ephemeral_owner=7)
+        tree.delete("/e")
+        assert tree.kill_session(7) == []
+
+    def test_ephemerals_of(self, tree):
+        tree.create("/e1", ephemeral_owner=7)
+        assert tree.ephemerals_of(7) == ["/e1"]
+        assert tree.ephemerals_of(8) == []
+
+
+class TestChildren:
+    def test_get_children_sorted(self, tree):
+        tree.create("/p")
+        for name in ("c", "a", "b"):
+            tree.create(f"/p/{name}")
+        assert tree.get_children("/p") == ["a", "b", "c"]
+
+    def test_get_children_missing_raises(self, tree):
+        with pytest.raises(NoNodeError):
+            tree.get_children("/ghost")
+
+
+class TestSnapshotRestore:
+    def test_round_trip(self, tree):
+        tree.create("/a", b"data")
+        tree.create("/a/b")
+        tree.create("/e", ephemeral_owner=3)
+        tree.create("/q")
+        tree.create("/q/s-", sequential=True)
+
+        clone = DataTree()
+        clone.restore(tree.snapshot())
+        assert clone.fingerprint() == tree.fingerprint()
+        assert clone.get_data("/a")[0] == b"data"
+        # Ephemeral index is rebuilt.
+        assert clone.ephemerals_of(3) == ["/e"]
+        # Sequence counters survive.
+        assert (clone.create("/q/s-", sequential=True)
+                == tree.create("/q/s-", sequential=True))
+
+    def test_snapshot_is_independent(self, tree):
+        tree.create("/a", b"x")
+        snap = tree.snapshot()
+        tree.set_data("/a", b"y")
+        clone = DataTree()
+        clone.restore(snap)
+        assert clone.get_data("/a")[0] == b"x"
+
+    def test_fingerprint_differs_on_change(self, tree):
+        tree.create("/a", b"x")
+        before = tree.fingerprint()
+        tree.set_data("/a", b"y")
+        assert tree.fingerprint() != before

@@ -1,0 +1,133 @@
+"""Unit tests for the copy-on-write tree overlay (prep view / EZK proxy)."""
+
+import pytest
+
+from repro.zk import (BadVersionError, DataTree, NodeExistsError, NoNodeError,
+                      NotEmptyError, TreeOverlay)
+from repro.zk.txn import CreateTxn, DeleteTxn, SetDataTxn
+
+
+@pytest.fixture
+def base():
+    tree = DataTree()
+    tree.create("/a", b"base")
+    tree.create("/a/x")
+    tree.create("/q")
+    return tree
+
+
+def test_reads_fall_through(base):
+    view = TreeOverlay(base)
+    assert view.get_data("/a")[0] == b"base"
+    assert view.get_children("/a") == ["x"]
+    assert view.exists("/missing") is None
+    assert not view.dirty
+
+
+def test_write_does_not_touch_base(base):
+    view = TreeOverlay(base)
+    view.set_data("/a", b"new")
+    assert view.get_data("/a")[0] == b"new"
+    assert base.get_data("/a")[0] == b"base"
+
+
+def test_create_visible_to_overlay_reads(base):
+    view = TreeOverlay(base)
+    view.create("/a/y", b"fresh")
+    assert view.get_data("/a/y")[0] == b"fresh"
+    assert view.get_children("/a") == ["x", "y"]
+    assert "/a/y" not in base
+
+
+def test_delete_hides_node(base):
+    view = TreeOverlay(base)
+    view.delete("/a/x")
+    assert view.exists("/a/x") is None
+    assert view.get_children("/a") == []
+    assert base.exists("/a/x") is not None
+
+
+def test_delete_then_recreate(base):
+    view = TreeOverlay(base)
+    view.delete("/a/x")
+    view.create("/a/x", b"again")
+    assert view.get_data("/a/x")[0] == b"again"
+    assert view.txns == [DeleteTxn("/a/x"), CreateTxn("/a/x", b"again", None)]
+
+
+def test_txn_recording_order(base):
+    view = TreeOverlay(base)
+    view.create("/a/y", b"1")
+    view.set_data("/a", b"2")
+    view.delete("/a/x")
+    kinds = [type(txn) for txn in view.txns]
+    assert kinds == [CreateTxn, SetDataTxn, DeleteTxn]
+
+
+def test_version_checks_respect_overlay_writes(base):
+    view = TreeOverlay(base)
+    view.set_data("/a", b"v1")  # version -> 1
+    with pytest.raises(BadVersionError):
+        view.set_data("/a", b"v2", version=0)
+    view.set_data("/a", b"v2", version=1)
+
+
+def test_sequential_create_uses_overlay_counter(base):
+    view = TreeOverlay(base)
+    first = view.create("/q/e-", sequential=True)
+    second = view.create("/q/e-", sequential=True)
+    assert first.endswith("0000000000")
+    assert second.endswith("0000000001")
+    # Base counter untouched.
+    assert base.create("/q/e-", sequential=True).endswith("0000000000")
+
+
+def test_create_duplicate_of_base_node_rejected(base):
+    view = TreeOverlay(base)
+    with pytest.raises(NodeExistsError):
+        view.create("/a/x")
+
+
+def test_delete_with_overlay_children_rejected(base):
+    view = TreeOverlay(base)
+    view.create("/q/child")
+    with pytest.raises(NotEmptyError):
+        view.delete("/q")
+
+
+def test_delete_missing_raises(base):
+    view = TreeOverlay(base)
+    with pytest.raises(NoNodeError):
+        view.delete("/ghost")
+
+
+def test_create_under_deleted_parent_rejected(base):
+    view = TreeOverlay(base)
+    view.delete("/a/x")
+    view.delete("/a")
+    with pytest.raises(NoNodeError):
+        view.create("/a/z")
+
+
+def test_replaying_txns_onto_base_matches_overlay(base):
+    """The overlay's txn list, applied to the base, reproduces its view."""
+    from repro.zk.server import _apply_txn_to_tree
+
+    view = TreeOverlay(base)
+    view.create("/a/y", b"1")
+    view.set_data("/a/y", b"2")
+    view.delete("/a/x")
+    view.create("/q/e-", b"", sequential=True)
+
+    expected_children = view.get_children("/a")
+    for txn in view.txns:
+        _apply_txn_to_tree(base, txn, zxid=1, now=0.0)
+    assert base.get_data("/a/y")[0] == b"2"
+    assert base.get_children("/a") == expected_children
+    assert base.exists("/q/e-0000000000") is not None
+
+
+def test_touched_paths(base):
+    view = TreeOverlay(base)
+    view.set_data("/a", b"z")
+    assert "/a" in view.touched_paths()
