@@ -1,0 +1,144 @@
+"""Wall-clock microbenchmark for the simulation kernel (BENCH_core.json).
+
+The figure benchmarks report *simulated* metrics; this module measures
+how fast the kernel itself chews through events in *real* time. It runs
+the Figure-8 distributed-queue driver (``run_queue_workload``) with 32
+closed-loop clients and records, per system:
+
+* ``events_per_wall_s`` — kernel events processed per wall-clock second
+  (the headline number the perf work is judged on),
+* ``sim_ops_per_s`` / ``mean_latency_ms`` / ``client_kb_per_op`` — the
+  simulated figure-level metrics, so a kernel speedup that accidentally
+  changes the modelled behaviour is caught immediately.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.wallclock --baseline   # once
+    PYTHONPATH=src python -m repro.bench.wallclock              # after changes
+
+The first form records the pre-change baseline into ``BENCH_core.json``;
+the second re-measures, stores the result next to the baseline, and
+prints the speedup. The file accumulates across PRs so the trend stays
+visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from .workload import run_queue_workload
+
+__all__ = ["measure_queue", "run_bench", "main"]
+
+DEFAULT_OUTPUT = Path("BENCH_core.json")
+CLIENTS = 32
+MEASURE_MS = 500.0
+SYSTEMS = ("zk", "ezk")
+
+
+def _batched_config():
+    """A ZkConfig with Zab batching enabled, or None pre-batching."""
+    from ..zk.server import ZkConfig
+    from ..zk.zab import ZabConfig
+    try:
+        zab = ZabConfig(batch_window_ms=1.0, batch_max_txns=8)
+    except TypeError:        # knobs not present (pre-change baseline)
+        return None
+    return ZkConfig(zab=zab)
+
+
+def measure_queue(kind: str, config=None, repeat: int = 3,
+                  clients: int = CLIENTS,
+                  measure_ms: float = MEASURE_MS) -> Dict[str, float]:
+    """Run the fig-8 queue driver ``repeat`` times; keep the fastest run.
+
+    The simulated metrics are identical across repeats (the simulation
+    is deterministic under a fixed seed); only the wall-clock numbers
+    vary, and the minimum is the least noisy estimate of kernel cost.
+    """
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = run_queue_workload(kind, clients, measure_ms=measure_ms,
+                                    config=config)
+        wall_s = time.perf_counter() - start
+        if best is None or wall_s < best["wall_s"]:
+            best = {
+                "wall_s": round(wall_s, 4),
+                "sim_events": result.extra["sim_events"],
+                "events_per_wall_s": round(
+                    result.extra["sim_events"] / wall_s, 1),
+                "sim_ops_per_s": round(result.throughput_ops, 2),
+                "mean_latency_ms": round(result.mean_latency_ms, 4),
+                "client_kb_per_op": round(result.client_kb_per_op, 4),
+                "completed_ops": result.completed_ops,
+            }
+    return best
+
+
+def run_bench(repeat: int = 3, include_batched: bool = True
+              ) -> Dict[str, Dict[str, float]]:
+    """Measure every system; adds ``<kind>+batch`` rows when available."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for kind in SYSTEMS:
+        rows[kind] = measure_queue(kind, repeat=repeat)
+    if include_batched:
+        config = _batched_config()
+        if config is not None:
+            for kind in SYSTEMS:
+                rows[f"{kind}+batch"] = measure_queue(
+                    kind, config=config, repeat=repeat)
+    return rows
+
+
+def _load(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", action="store_true",
+                        help="record this run as the pre-change baseline")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    rows = run_bench(repeat=args.repeat, include_batched=not args.baseline)
+    payload = _load(args.output)
+    payload.setdefault("workload", "fig8-queue")
+    payload.setdefault("clients", CLIENTS)
+    payload.setdefault("measure_ms", MEASURE_MS)
+
+    if args.baseline or "baseline" not in payload:
+        payload["baseline"] = rows
+        print(f"baseline recorded -> {args.output}")
+    else:
+        payload["current"] = rows
+        speedup = {}
+        for kind, row in rows.items():
+            base_kind = kind.split("+")[0]
+            base = payload["baseline"].get(base_kind)
+            if base:
+                speedup[kind] = round(
+                    row["events_per_wall_s"] / base["events_per_wall_s"], 3)
+        payload["speedup_events_per_wall_s"] = speedup
+        print(f"speedup vs baseline: {speedup}")
+
+    for kind, row in rows.items():
+        print(f"  {kind:<9} events/s={row['events_per_wall_s']:>12.1f}  "
+              f"sim tput={row['sim_ops_per_s']:>9.1f} ops/s  "
+              f"lat={row['mean_latency_ms']:.3f} ms  "
+              f"KB/op={row['client_kb_per_op']:.3f}")
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

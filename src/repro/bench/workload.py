@@ -156,13 +156,18 @@ def run_counter_workload(kind: str, n_clients: int, warmup_ms: float = 100.0,
 
 def run_queue_workload(kind: str, n_clients: int, warmup_ms: float = 100.0,
                        measure_ms: float = 500.0, payload: bytes = b"",
-                       seed: int = 32) -> WorkloadResult:
+                       seed: int = 32, config=None) -> WorkloadResult:
     """Each client repeatedly adds one element then removes one (§6.1.2).
 
     Throughput counts *elements through the queue* (add+remove pairs);
     KB/op is client-sent data per element, the paper's cost metric.
+    ``config`` optionally overrides the ensemble's service config (the
+    wall-clock microbenchmark uses it to toggle Zab batching); the
+    result's ``extra['sim_events']`` reports how many kernel events the
+    run processed so events/s per wall-clock second can be derived.
     """
-    ensemble = make_ensemble(kind, seed=seed)
+    kwargs = {"config": config} if config is not None else {}
+    ensemble = make_ensemble(kind, seed=seed, **kwargs)
     coords, raw = make_coords(ensemble, kind, n_clients)
     queues = _setup_recipes(ensemble, kind, coords, TraditionalQueue,
                             ExtensionQueue)
@@ -178,7 +183,9 @@ def run_queue_workload(kind: str, n_clients: int, warmup_ms: float = 100.0,
     for queue in queues:
         ensemble.env.process(worker(queue))
     window.run()
-    return window.result(kind, n_clients)
+    result = window.result(kind, n_clients)
+    result.extra["sim_events"] = float(ensemble.env.events_processed)
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -16,17 +16,49 @@ cache via :meth:`reload` from the index object.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from types import CodeType
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from .api import AbstractState, EventNotice, OperationRequest
 from .errors import (ExtensionRejectedError, NotAuthorizedError,
                      UnknownExtensionError)
 from .extension import EventSubscription, Extension, OperationSubscription
-from .sandbox import BudgetedState, SandboxLimits, compile_extension, run_contained
-from .verifier import VerifierConfig
+from .sandbox import (BudgetedState, SandboxLimits, compile_extension_source,
+                      instantiate_extension, run_contained)
+from .verifier import VerifierConfig, verify_source
 
 __all__ = ["RegisteredExtension", "ExtensionManager"]
+
+
+#: Verified-and-compiled extension code, keyed by
+#: (source sha256, registration name, verifier-config fingerprint).
+#: Every replica of an ensemble registers the same handful of sources
+#: (and each EZK replica re-registers them again on recovery), so the
+#: expensive half of loading — AST parse, the verifier's full-tree walk,
+#: byte-compilation — runs once per distinct source instead of once per
+#: (replica × registration). Only the immutable code object is shared;
+#: each registration still executes it into a fresh namespace, so class
+#: objects (and any class-attribute state) stay per-replica.
+_COMPILE_CACHE: Dict[Tuple[str, str, tuple], CodeType] = {}
+
+#: Sources that passed verification, for prep-time pre-checks that do
+#: not need the code object (EZK verifies at the leader's prep stage
+#: before the registration is proposed). Failures are never cached.
+_VERIFIED_CACHE: Set[Tuple[str, tuple]] = set()
+
+#: Bound so a pathological workload cannot grow the caches forever.
+_CACHE_MAX = 512
+
+
+def _source_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _config_fingerprint(config: VerifierConfig) -> tuple:
+    return (config.max_source_bytes, tuple(config.extra_names),
+            config.enabled)
 
 
 @dataclass
@@ -83,8 +115,16 @@ class ExtensionManager:
         instantiation fails — the registration must then be aborted by
         the backend (§4.1.1: "the registration aborts immediately").
         """
-        instance = compile_extension(source, name, self.verifier_config,
-                                     helpers=self.helpers)
+        key = (_source_hash(source), name,
+               _config_fingerprint(self.verifier_config))
+        code = _COMPILE_CACHE.get(key)
+        if code is None:
+            code = compile_extension_source(source, name,
+                                            self.verifier_config)
+            if len(_COMPILE_CACHE) >= _CACHE_MAX:
+                _COMPILE_CACHE.clear()
+            _COMPILE_CACHE[key] = code
+        instance = instantiate_extension(code, name, helpers=self.helpers)
         self._order += 1
         record = RegisteredExtension(
             name=name, source=source, owner=owner, instance=instance,
@@ -93,6 +133,24 @@ class ExtensionManager:
             order=self._order)
         self._extensions[name] = record
         return record
+
+    def verify_cached(self, source: str) -> None:
+        """``verify_source`` with a pass-only cache.
+
+        For callers that need the verdict but not the code object (EZK's
+        prep-stage registration check re-verifies the same source at
+        every leader). Raises exactly like :func:`verify_source`;
+        rejections are re-derived every time so their messages stay
+        precise.
+        """
+        key = (_source_hash(source),
+               _config_fingerprint(self.verifier_config))
+        if key in _VERIFIED_CACHE:
+            return
+        verify_source(source, self.verifier_config)
+        if len(_VERIFIED_CACHE) >= _CACHE_MAX:
+            _VERIFIED_CACHE.clear()
+        _VERIFIED_CACHE.add(key)
 
     def deregister(self, name: str) -> None:
         self._extensions.pop(name, None)

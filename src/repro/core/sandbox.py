@@ -25,6 +25,7 @@ from __future__ import annotations
 import builtins as _builtins
 import sys
 from dataclasses import dataclass
+from types import CodeType
 from typing import Any, Callable, Dict, List, Optional, Type
 
 from .api import AbstractState, ObjectRecord
@@ -34,7 +35,8 @@ from .extension import EventSubscription, Extension, OperationSubscription
 from .verifier import SAFE_BUILTINS, VerifierConfig, verify_source
 
 __all__ = ["SandboxLimits", "BudgetedState", "StepLimiter",
-           "compile_extension", "run_contained"]
+           "compile_extension", "compile_extension_source",
+           "instantiate_extension", "run_contained"]
 
 
 @dataclass
@@ -143,24 +145,34 @@ def _restricted_builtins() -> Dict[str, Any]:
     return table
 
 
-def compile_extension(source: str, name: str = "",
-                      config: Optional[VerifierConfig] = None,
-                      helpers: Optional[Dict[str, Callable]] = None
-                      ) -> Extension:
-    """Verify, compile, and instantiate one extension from source.
+def compile_extension_source(source: str, name: str = "",
+                             config: Optional[VerifierConfig] = None
+                             ) -> CodeType:
+    """Verify and byte-compile extension source; returns the code object.
 
-    ``helpers`` are trusted callables statically added to the sandbox
-    interface (§4.2's escape hatch for functionality the white list
-    cannot express); their names must also appear in the verifier
-    config's ``extra_names``, which :class:`ExtensionManager` arranges
-    automatically. Actively-replicated backends must only install
-    deterministic helpers (§4.1.1).
-
-    Returns the instantiated :class:`Extension`. Raises
-    :class:`ExtensionRejectedError` when verification fails or the
-    source does not define exactly one Extension subclass.
+    This is the expensive half of loading an extension (AST parse, the
+    verifier's full-tree walk, byte-compilation) and depends only on the
+    source and the verifier config — :class:`ExtensionManager` caches
+    its result by source hash so the n-th replica registering the same
+    extension skips straight to :func:`instantiate_extension`.
     """
     verify_source(source, config)
+    try:
+        return compile(source, f"<extension:{name or 'anonymous'}>", "exec")
+    except Exception as exc:
+        raise ExtensionRejectedError(
+            [f"extension source failed to compile: {exc}"]) from exc
+
+
+def instantiate_extension(code: CodeType, name: str = "",
+                          helpers: Optional[Dict[str, Callable]] = None
+                          ) -> Extension:
+    """Execute compiled extension code and instantiate its class.
+
+    Runs per registration, never cached: each replica's registration
+    gets its own class object, so class-attribute state can never leak
+    between replicas (the verifier allows class-level assignments).
+    """
     namespace: Dict[str, Any] = {
         "__builtins__": _restricted_builtins(),
         "Extension": Extension,
@@ -171,8 +183,7 @@ def compile_extension(source: str, name: str = "",
     if helpers:
         namespace.update(helpers)
     try:
-        exec(compile(source, f"<extension:{name or 'anonymous'}>", "exec"),
-             namespace)
+        exec(code, namespace)
     except Exception as exc:
         raise ExtensionRejectedError(
             [f"extension source failed to load: {exc}"]) from exc
@@ -192,6 +203,27 @@ def compile_extension(source: str, name: str = "",
             [f"extension failed to instantiate: {exc}"]) from exc
     instance.name = name or classes[0].__name__
     return instance
+
+
+def compile_extension(source: str, name: str = "",
+                      config: Optional[VerifierConfig] = None,
+                      helpers: Optional[Dict[str, Callable]] = None
+                      ) -> Extension:
+    """Verify, compile, and instantiate one extension from source.
+
+    ``helpers`` are trusted callables statically added to the sandbox
+    interface (§4.2's escape hatch for functionality the white list
+    cannot express); their names must also appear in the verifier
+    config's ``extra_names``, which :class:`ExtensionManager` arranges
+    automatically. Actively-replicated backends must only install
+    deterministic helpers (§4.1.1).
+
+    Returns the instantiated :class:`Extension`. Raises
+    :class:`ExtensionRejectedError` when verification fails or the
+    source does not define exactly one Extension subclass.
+    """
+    return instantiate_extension(
+        compile_extension_source(source, name, config), name, helpers)
 
 
 def run_contained(fn: Callable[..., Any], *args: Any,

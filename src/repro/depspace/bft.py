@@ -46,10 +46,25 @@ class RequestId:
 
 @dataclass
 class BftRequest:
-    """Client request as it travels the ordering protocol."""
+    """Client request as it travels the ordering protocol.
+
+    Requests are immutable and travel many times — the client multicasts
+    one request object to all ``n`` replicas, and the primary re-ships it
+    inside PRE-PREPARE — so the wire-size estimate is cached.
+    """
 
     request_id: RequestId
     op: Any
+    _wire_size: Optional[int] = field(default=None, repr=False, compare=False)
+
+    def wire_size(self) -> int:
+        size = self._wire_size
+        if size is None:
+            from ..sim import estimate_size
+            # Mirrors the generic dataclass estimate for the real fields.
+            size = 2 + estimate_size(self.request_id) + estimate_size(self.op)
+            self._wire_size = size
+        return size
 
 
 @dataclass

@@ -28,8 +28,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..core import (EventNotice, ExtensionError, ExtensionManager,
-                    OperationRequest, SandboxLimits, VerifierConfig,
-                    verify_source)
+                    OperationRequest, SandboxLimits, VerifierConfig)
 from ..zk.errors import ZkError
 from ..zk.server import InterceptResult, StateEvent, ZkServer
 from ..zk.txn import (CreateOp, CreateTxn, DeleteOp, ExistsOp, GetChildrenOp,
@@ -160,7 +159,7 @@ class EzkBinding:
             return None  # an ack child: let the normal create proceed
         source = op.data.decode("utf-8")
         try:
-            verify_source(source, self.manager.verifier_config)
+            self.manager.verify_cached(source)
         except ExtensionError as exc:
             raise _as_zk_error(exc) from exc
         owner = str(meta.session_id)

@@ -10,11 +10,12 @@ and a crash simply discards the overlay.
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, List, Optional
 
 from ..core.api import AbstractState, ObjectRecord
 from ..core.errors import CoordStateError, NoObjectError, ObjectExistsError
-from ..zk.data_tree import DataTree
+from ..zk.data_tree import DataTree, validate_path
 from ..zk.errors import (BadVersionError, NodeExistsError, NoNodeError,
                          ZkError)
 from ..zk.overlay import TreeOverlay
@@ -24,6 +25,9 @@ __all__ = ["ZkBufferedState"]
 
 #: Overlay-created nodes sort after every committed node ("youngest").
 _PENDING_SEQ_BASE = 1 << 62
+
+#: Sub-object listing order: creation order, object id as tiebreaker.
+_RECORD_ORDER = operator.attrgetter("seq", "object_id")
 
 
 class ZkBufferedState(AbstractState):
@@ -99,17 +103,24 @@ class ZkBufferedState(AbstractState):
 
     def sub_objects(self, object_id: str) -> List[ObjectRecord]:
         base = object_id.rstrip("/") or "/"
+        validate_path(base)
+        # Hot path for list-heavy extensions (the queue lists its whole
+        # directory on every invocation): bulk-read the children without
+        # per-child path validation or stat copies — only data and czxid
+        # are needed here. The final (seq, object_id) sort is total, so
+        # the iteration order of children_nodes does not matter.
         try:
-            names = self.overlay.get_children(base)
+            pairs = self.overlay.children_nodes(base)
         except NoNodeError as exc:
             raise NoObjectError(str(exc)) from exc
+        pending = self._pending_order
         records = []
-        for name in names:
-            child = base + "/" + name if base != "/" else "/" + name
-            data, stat = self.overlay.get_data(child)
-            records.append(
-                ObjectRecord(child, data, self._seq_of(child, stat.czxid)))
-        records.sort(key=lambda r: (r.seq, r.object_id))
+        for child, node in pairs:
+            seq = node.stat.czxid
+            if not seq:
+                seq = _PENDING_SEQ_BASE + pending.get(child, 0)
+            records.append(ObjectRecord(child, node.data, seq))
+        records.sort(key=_RECORD_ORDER)
         return records
 
     def block(self, object_id: str) -> None:

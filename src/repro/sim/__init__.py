@@ -8,7 +8,8 @@ generator-process kernel (:mod:`~repro.sim.events`,
 """
 
 from .environment import Environment, Infeasible
-from .events import AllOf, AnyOf, Event, Interrupted, Process, Timeout
+from .events import (AllOf, AnyOf, Callback, Event, Interrupted, Process,
+                     Timeout)
 from .network import (MESSAGE_HEADER_BYTES, LatencyModel, Network,
                       estimate_size)
 from .resources import FifoResource
@@ -19,6 +20,7 @@ __all__ = [
     "Infeasible",
     "Event",
     "Timeout",
+    "Callback",
     "Process",
     "Interrupted",
     "AnyOf",

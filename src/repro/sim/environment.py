@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
-from .events import AllOf, AnyOf, Event, Process, Timeout
+from .events import AllOf, AnyOf, Callback, Event, Process, Timeout
 
 __all__ = ["Environment", "Infeasible"]
 
@@ -34,6 +34,10 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: total events processed since construction; the wall-clock
+        #: microbenchmark divides this by elapsed real time to get the
+        #: kernel's events/s figure (BENCH_core.json).
+        self.events_processed = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -57,6 +61,20 @@ class Environment:
         """Create a fresh untriggered event."""
         return Event(self)
 
+    def defer(self, delay: float, fn, *args) -> Callback:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now.
+
+        The cheap alternative to ``timeout().add_callback(...)`` for
+        fire-and-forget work: no Event allocation, no callbacks list,
+        no closure. The returned :class:`Callback` is not awaitable.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        callback = Callback(fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        return callback
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` ms from now."""
         return Timeout(self, delay, value)
@@ -79,6 +97,7 @@ class Environment:
             raise Infeasible("no scheduled events")
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         event._process()
 
     def peek(self) -> Optional[float]:
@@ -95,18 +114,38 @@ class Environment:
         * an :class:`Event` — run until that event is processed and return
           its value (re-raising its exception if it failed).
         """
+        # The loops below inline step(): at hundreds of thousands of
+        # events per run the per-event method call is measurable
+        # (BENCH_core.json). events_processed is settled on exit so the
+        # counter stays honest even if an event handler raises.
+        queue = self._queue
+        pop = heapq.heappop
+        count = 0
+
         if until is None:
-            while self._queue:
-                self.step()
+            try:
+                while queue:
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    count += 1
+                    event._process()
+            finally:
+                self.events_processed += count
             return None
 
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._queue:
-                    raise Infeasible(
-                        "event queue drained before the awaited event triggered")
-                self.step()
+            try:
+                while not target.processed:
+                    if not queue:
+                        raise Infeasible(
+                            "event queue drained before the awaited event triggered")
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    count += 1
+                    event._process()
+            finally:
+                self.events_processed += count
             if not target.ok:
                 raise target._value
             return target._value
@@ -114,7 +153,13 @@ class Environment:
         deadline = float(until)
         if deadline < self._now:
             raise ValueError("cannot run backwards in time")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        try:
+            while queue and queue[0][0] <= deadline:
+                when, _seq, event = pop(queue)
+                self._now = when
+                count += 1
+                event._process()
+        finally:
+            self.events_processed += count
         self._now = deadline
         return None

@@ -16,11 +16,13 @@ Events move through three states:
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "Event",
     "Timeout",
+    "Callback",
     "Process",
     "Interrupted",
     "AnyOf",
@@ -28,6 +30,28 @@ __all__ = [
 ]
 
 _PENDING = object()
+
+
+class Callback:
+    """A lightweight one-shot scheduled callback.
+
+    The hot paths of the simulation (network deliveries, resource
+    completions) schedule hundreds of thousands of occurrences that
+    nothing ever waits on. A full :class:`Event` costs an object with a
+    callbacks list plus a closure per occurrence; this slotted wrapper
+    carries just the function and its arguments. It is **not awaitable**
+    — processes must not yield it — and it cannot be cancelled; use
+    :class:`Event` when either is needed.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., None], args: tuple = ()):
+        self.fn = fn
+        self.args = args
+
+    def _process(self) -> None:
+        self.fn(*self.args)
 
 
 class Interrupted(Exception):
@@ -79,22 +103,28 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): succeed() fires once per resource
+        # completion and per RPC reply, so the call overhead is hot.
+        env = self.env
+        env._seq += 1
+        heapq.heappush(env._queue, (env._now, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._seq += 1
+        heapq.heappush(env._queue, (env._now, env._seq, self))
         return self
 
     # -- callback plumbing -------------------------------------------------
@@ -130,7 +160,8 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        env._seq += 1
+        heapq.heappush(env._queue, (env._now + delay, env._seq, self))
 
 
 class Process(Event):

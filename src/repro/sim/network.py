@@ -15,6 +15,8 @@ clients). It provides:
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import operator
 import random
 from collections import defaultdict
 from typing import Any, Callable, Dict, Iterable, Optional
@@ -27,6 +29,95 @@ __all__ = ["LatencyModel", "Network", "estimate_size", "MESSAGE_HEADER_BYTES"]
 MESSAGE_HEADER_BYTES = 66
 
 
+def _str_size(obj: str) -> int:
+    # ASCII (the overwhelming case: paths, node names, error codes)
+    # encodes to exactly len(obj) bytes — skip the encode allocation.
+    if obj.isascii():
+        return 4 + len(obj)
+    return 4 + len(obj.encode("utf-8"))
+
+
+def _container_size(obj) -> int:
+    # Inlined per-item dispatch: get_children replies carry hundreds of
+    # name strings, so the per-item estimate_size frame adds up.
+    total = 4
+    sizers = _SIZERS
+    for item in obj:
+        sizer = sizers.get(item.__class__)
+        total += sizer(item) if sizer is not None else estimate_size(item)
+    return total
+
+
+def _dict_size(obj) -> int:
+    return 4 + sum(estimate_size(k) + estimate_size(v) for k, v in obj.items())
+
+
+#: Exact-type dispatch table for :func:`estimate_size`. Message payloads
+#: are overwhelmingly a handful of primitive and dataclass types; one
+#: dict lookup replaces the original isinstance ladder, and dataclass
+#: types get a per-type sizer installed on first sight (memoizing the
+#: ``dataclasses.fields`` walk, which is surprisingly expensive).
+_SIZERS: Dict[type, Callable[[Any], int]] = {
+    bool: lambda obj: 1,
+    type(None): lambda obj: 1,
+    int: lambda obj: 8,
+    float: lambda obj: 8,
+    bytes: lambda obj: 4 + len(obj),
+    str: _str_size,
+    list: _container_size,
+    tuple: _container_size,
+    set: _container_size,
+    frozenset: _container_size,
+    dict: _dict_size,
+}
+
+
+#: Per-field byte cost readable straight off a dataclass annotation.
+#: (Annotations are strings under ``from __future__ import annotations``,
+#: type objects otherwise — accept both.) A bool-annotated field always
+#: holds a bool, so its cost folds into the per-class constant; same for
+#: int/float. ``Optional[...]`` and container annotations stay dynamic.
+_FIXED_FIELD_BYTES = {"int": 8, "float": 8, "bool": 1,
+                      int: 8, float: 8, bool: 1}
+
+
+def _register_sizer(cls: type, obj: Any) -> Optional[Callable[[Any], int]]:
+    """Build (and cache) a sizer for a newly seen payload type."""
+    if callable(getattr(cls, "wire_size", None)):
+        sizer = lambda o: int(o.wire_size())  # noqa: E731
+    elif dataclasses.is_dataclass(cls):
+        # Fold fixed-size fields into one constant; only fields whose
+        # size depends on the value are fetched and walked. Protocol
+        # messages like Ack(epoch, zxid) become pure constants.
+        const = 2
+        dynamic = []
+        for f in dataclasses.fields(cls):
+            fixed = _FIXED_FIELD_BYTES.get(f.type)
+            if fixed is None:
+                dynamic.append(f.name)
+            else:
+                const += fixed
+        if not dynamic:
+            sizer = lambda o, _const=const: _const  # noqa: E731
+        elif len(dynamic) == 1:
+            getter = operator.attrgetter(dynamic[0])
+            sizer = (lambda o, _const=const, _getter=getter:  # noqa: E731
+                     _const + estimate_size(_getter(o)))
+        else:
+            # attrgetter fetches every dynamic field in one C call.
+            getter = operator.attrgetter(*dynamic)
+
+            def sizer(o, _const=const, _getter=getter):
+                total = _const
+                for value in _getter(o):
+                    total += estimate_size(value)
+                return total
+    else:
+        return None
+    _SIZERS[cls] = sizer
+    return sizer
+
+
 def estimate_size(obj: Any) -> int:
     """Estimate the wire size of a payload object, in bytes.
 
@@ -35,6 +126,15 @@ def estimate_size(obj: Any) -> int:
     compact binary encoding (8-byte numbers, length-prefixed strings).
     Objects may override the estimate by providing ``wire_size()``.
     """
+    cls = obj.__class__
+    sizer = _SIZERS.get(cls)
+    if sizer is not None:
+        return sizer(obj)
+    sizer = _register_sizer(cls, obj)
+    if sizer is not None:
+        return sizer(obj)
+    # Uncached slow path: instance-level wire_size overrides, subclasses
+    # of the primitives/containers, and odd objects.
     size = getattr(obj, "wire_size", None)
     if callable(size):
         return int(size())
@@ -45,16 +145,11 @@ def estimate_size(obj: Any) -> int:
     if isinstance(obj, bytes):
         return 4 + len(obj)
     if isinstance(obj, str):
-        return 4 + len(obj.encode("utf-8"))
+        return _str_size(obj)
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return 4 + sum(estimate_size(item) for item in obj)
+        return _container_size(obj)
     if isinstance(obj, dict):
-        return 4 + sum(
-            estimate_size(k) + estimate_size(v) for k, v in obj.items())
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return 2 + sum(
-            estimate_size(getattr(obj, field.name))
-            for field in dataclasses.fields(obj))
+        return _dict_size(obj)
     # Fallback for odd objects: a conservative flat cost.
     return 16
 
@@ -78,6 +173,37 @@ class LatencyModel:
         return self.base_ms + transmission + jitter
 
 
+class _Delivery:
+    """One in-flight message: a slotted, closure-free queue entry.
+
+    The environment's heap only requires a ``_process()`` method, so the
+    per-message cost is one small object instead of an Event plus a
+    six-variable closure (see the BENCH_core.json microbenchmark).
+    """
+
+    __slots__ = ("net", "src", "dst", "msg", "size", "handler")
+
+    def __init__(self, net: "Network", src: str, dst: str, msg: Any,
+                 size: int, handler: Callable[[str, Any], None]):
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+        self.size = size
+        self.handler = handler
+
+    def _process(self) -> None:
+        net = self.net
+        if self.dst in net._crashed:
+            return
+        net.bytes_received[self.dst] += self.size
+        self.handler(self.src, self.msg)
+
+
+#: Prune the FIFO bookkeeping after this many sends (see Network._prune).
+_PRUNE_INTERVAL = 8192
+
+
 class Network:
     """Delivers messages between registered nodes with simulated latency."""
 
@@ -90,6 +216,7 @@ class Network:
         self._rng = random.Random(seed)
         self._fifo = fifo
         self._last_delivery: Dict[tuple[str, str], float] = {}
+        self._sends_until_prune = _PRUNE_INTERVAL
         self._handlers: Dict[str, Callable[[str, Any], None]] = {}
         self.bytes_sent: Dict[str, int] = defaultdict(int)
         self.msgs_sent: Dict[str, int] = defaultdict(int)
@@ -150,37 +277,63 @@ class Network:
         that is how a real NIC counter behaves, and it keeps the client
         cost figures honest under retries.
         """
-        size = MESSAGE_HEADER_BYTES + estimate_size(msg)
+        return self._send_sized(src, dst, msg,
+                                MESSAGE_HEADER_BYTES + estimate_size(msg))
+
+    def _send_sized(self, src: str, dst: str, msg: Any, size: int) -> int:
         self.bytes_sent[src] += size
         self.msgs_sent[src] += 1
-        if self._blocked(src, dst):
+        # Fast path: no faults injected, nothing can block the message.
+        if ((self._crashed or self._partitions or self.drop_probability)
+                and self._blocked(src, dst)):
             return size
         handler = self._handlers.get(dst)
         if handler is None:
             return size
-        delay = self.latency.latency(size, self._rng)
+        env = self.env
+        # Inlined LatencyModel.latency (uniform(0, j) == j * random()).
+        lat = self.latency
+        delay = lat.base_ms + size / lat.bandwidth_bytes_per_ms
+        if lat.jitter_ms:
+            delay += lat.jitter_ms * self._rng.random()
+        arrival = env._now + delay
         if self._fifo:
             # TCP-like channels: per-(src, dst) deliveries never reorder.
             channel = (src, dst)
-            arrival = max(self.env.now + delay,
-                          self._last_delivery.get(channel, 0.0))
+            last = self._last_delivery.get(channel)
+            if last is not None and last > arrival:
+                arrival = last
             self._last_delivery[channel] = arrival
-            delay = arrival - self.env.now
-
-        def deliver(_event, handler=handler, src=src, msg=msg, size=size,
-                    dst=dst) -> None:
-            if dst in self._crashed:
-                return
-            self.bytes_received[dst] += size
-            handler(src, msg)
-
-        event = self.env.event()
-        event.add_callback(deliver)
-        event._ok = True
-        event._value = None
-        self.env.schedule(event, delay=delay)
+            self._sends_until_prune -= 1
+            if self._sends_until_prune <= 0:
+                self._prune()
+        # Inlined env.schedule (hot path: one heappush per message).
+        env._seq += 1
+        heapq.heappush(env._queue, (arrival, env._seq,
+                                    _Delivery(self, src, dst, msg, size,
+                                              handler)))
         return size
 
+    def _prune(self) -> None:
+        """Drop FIFO bookkeeping that no longer constrains ordering.
+
+        A channel whose last scheduled arrival lies in the past cannot
+        delay any future send, so its entry is dead weight; without this
+        sweep ``_last_delivery`` grows with every (src, dst) pair that
+        ever exchanged a message (e.g. one per client in the figure
+        drivers) and is retained for the whole run.
+        """
+        now = self.env.now
+        stale = [channel for channel, arrival in self._last_delivery.items()
+                 if arrival <= now]
+        for channel in stale:
+            del self._last_delivery[channel]
+        self._sends_until_prune = _PRUNE_INTERVAL
+
     def broadcast(self, src: str, dsts: Iterable[str], msg: Any) -> int:
-        """Send ``msg`` to every destination; returns total billed bytes."""
-        return sum(self.send(src, dst, msg) for dst in dsts)
+        """Send ``msg`` to every destination; returns total billed bytes.
+
+        The payload is sized once, not per destination.
+        """
+        size = MESSAGE_HEADER_BYTES + estimate_size(msg)
+        return sum(self._send_sized(src, dst, msg, size) for dst in dsts)

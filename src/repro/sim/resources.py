@@ -57,13 +57,12 @@ class FifoResource:
         cost_ms, done = self._queue.popleft()
         self.busy_ms += cost_ms
         self.items_served += 1
+        # Lightweight completion timer: no Timeout event + closure pair.
+        self.env.defer(cost_ms, self._finish, done)
 
-        def finish(_event) -> None:
-            done.succeed(getattr(done, "_pending_value", None))
-            self._serve_next()
-
-        timer = self.env.timeout(cost_ms)
-        timer.add_callback(finish)
+    def _finish(self, done: Event) -> None:
+        done.succeed(getattr(done, "_pending_value", None))
+        self._serve_next()
 
     def utilization(self, elapsed_ms: float) -> float:
         """Fraction of ``elapsed_ms`` this resource spent busy."""

@@ -25,6 +25,9 @@ __all__ = ["ZkClient"]
 
 _DEFAULT_TIMEOUT_MS = 3000.0
 
+#: Sentinel delivered to a pending call when its timer expires first.
+_TIMED_OUT = object()
+
 
 class ZkClient:
     """One client endpoint; owns a session once :meth:`connect` completes."""
@@ -76,6 +79,17 @@ class ZkClient:
 
     # -- RPC core ----------------------------------------------------------
 
+    def _expire(self, xid: int, future: Event) -> None:
+        """Deliver the timeout sentinel if the call is still outstanding.
+
+        The ``triggered`` check also protects retries that reuse the
+        xid: a stale timer holds the *old* future and must not pop the
+        replacement from ``_pending``.
+        """
+        if not future.triggered:
+            self._pending.pop(xid, None)
+            future.succeed(_TIMED_OUT)
+
     def _call(self, op: Op, timeout_ms: Optional[float] = _DEFAULT_TIMEOUT_MS):
         """Issue one request; retries on another replica after a timeout."""
         if self._closed:
@@ -90,20 +104,19 @@ class ZkClient:
             self._pending[xid] = future
             self.net.send(self.node_id, self.replica,
                           ClientRequest(session, xid, op))
-            if timeout_ms is None:
-                reply = yield future
-            else:
-                timer = self.env.timeout(timeout_ms)
-                outcome = yield self.env.any_of([future, timer])
-                if future not in outcome:
-                    # Timed out: assume the replica is gone and fail over.
-                    self._pending.pop(xid, None)
-                    if attempts >= 2 * len(self.replicas) + 1:
-                        raise ConnectionLossError(
-                            f"no replica answered after {attempts} attempts")
-                    self._failover()
-                    continue
-                reply = outcome[future]
+            if timeout_ms is not None:
+                # Deadline as a deferred callback: one slotted Callback
+                # instead of a Timeout event plus an AnyOf condition per
+                # RPC (this is the client library's hottest line).
+                self.env.defer(timeout_ms, self._expire, xid, future)
+            reply = yield future
+            if reply is _TIMED_OUT:
+                # Timed out: assume the replica is gone and fail over.
+                if attempts >= 2 * len(self.replicas) + 1:
+                    raise ConnectionLossError(
+                        f"no replica answered after {attempts} attempts")
+                self._failover()
+                continue
             if not reply.ok:
                 if reply.error_code == ConnectionLossError.code:
                     # Replica lost its leader; back off briefly and retry.

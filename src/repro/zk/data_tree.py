@@ -20,8 +20,17 @@ from .errors import (BadArgumentsError, NoChildrenForEphemeralsError,
 __all__ = ["Stat", "ZNode", "DataTree", "split_path", "parent_of", "validate_path"]
 
 
+#: Paths that already passed validation — recipes hammer the same few
+#: hundred paths millions of times, so re-splitting each one is pure
+#: waste. Bounded; cleared wholesale if a workload somehow floods it.
+_VALID_PATHS: set = set()
+_VALID_PATHS_MAX = 65536
+
+
 def validate_path(path: str) -> None:
     """Reject malformed paths (must be absolute, no empty or dot components)."""
+    if path in _VALID_PATHS:
+        return
     if not path or path[0] != "/":
         raise BadArgumentsError(f"path must be absolute: {path!r}")
     if path != "/" and path.endswith("/"):
@@ -31,6 +40,9 @@ def validate_path(path: str) -> None:
             break
         if not component or component in (".", ".."):
             raise BadArgumentsError(f"bad path component in {path!r}")
+    if len(_VALID_PATHS) >= _VALID_PATHS_MAX:
+        _VALID_PATHS.clear()
+    _VALID_PATHS.add(path)
 
 
 def parent_of(path: str) -> str:

@@ -84,6 +84,34 @@ class TreeOverlay:
             raise NoNodeError(path)
         return sorted(node.children)
 
+    def children_nodes(self, path: str) -> List[Tuple[str, ZNode]]:
+        """(child_path, node) for every child of ``path``, overlay-aware.
+
+        Bulk read for directory-scan consumers (the EZK state proxy lists
+        whole queue directories on every extension invocation): one pass
+        over the children with plain dict probes, no per-child path
+        validation or stat copies. Iteration order is unspecified; the
+        nodes are shared, not copies — callers must not mutate them.
+        """
+        node = self._peek(path)
+        if node is None:
+            raise NoNodeError(path)
+        prefix = "/" if path == "/" else path + "/"
+        nodes = self._nodes
+        base_nodes = self._base._nodes
+        pairs = []
+        for name in node.children:
+            child = prefix + name
+            entry = nodes.get(child)
+            if entry is None:
+                entry = base_nodes.get(child)
+            elif entry is _TOMBSTONE:
+                entry = None  # deleted in-overlay; parent link is stale
+            if entry is None:
+                raise NoNodeError(child)
+            pairs.append((child, entry))
+        return pairs
+
     # -- write API ------------------------------------------------------------
 
     def create(self, path: str, data: bytes = b"",

@@ -184,10 +184,11 @@ class ZkServer:
     def handle_message(self, src: str, msg: object) -> None:
         if not self._alive:
             return
-        if self.zab.handle(src, msg):
-            return
+        # Client traffic dominates; dispatch it before the Zab ladder.
         if isinstance(msg, ClientRequest):
             self._on_client_request(src, msg)
+        elif self.zab.handle(src, msg):
+            return
         elif isinstance(msg, Forward):
             self._on_forward(msg)
         elif isinstance(msg, SessionPing):

@@ -209,8 +209,25 @@ class WatchNotification:
 
 @dataclass
 class TxnRecord:
-    """One slot in the replicated log."""
+    """One slot in the replicated log.
+
+    Records are immutable once appended, so the wire-size estimate is
+    computed once and reused — the leader ships the same record to every
+    follower (and again during syncs), which made the recursive size
+    walk one of the hottest paths in the simulation.
+    """
 
     zxid: int
     txn: Txn
     meta: Optional[RequestMeta] = None
+    _wire_size: Optional[int] = field(default=None, repr=False, compare=False)
+
+    def wire_size(self) -> int:
+        size = self._wire_size
+        if size is None:
+            from ..sim import estimate_size
+            # Mirrors the generic dataclass estimate for the real fields:
+            # 2 (tag) + 8 (zxid) + txn + meta.
+            size = 10 + estimate_size(self.txn) + estimate_size(self.meta)
+            self._wire_size = size
+        return size

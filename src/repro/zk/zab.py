@@ -4,15 +4,19 @@ A deliberately compact rendition of ZooKeeper's replication protocol
 with the properties the paper's evaluation depends on:
 
 * the **leader** turns updates into transactions, assigns them gapless
-  zxids ``(epoch << 32) | counter``, and streams PROPOSALs to followers;
-* followers append in FIFO order and ACK; the leader commits an entry
-  once a **majority** (itself included) has acked, delivers it locally,
-  and broadcasts COMMIT;
+  zxids ``(epoch << 32) | counter``, and streams PROPOSALs to followers
+  — singly by default, or batched into BatchProposals when the config
+  enables leader-side batching (``batch_window_ms``/``batch_max_txns``);
+* followers append in FIFO order and ACK (cumulatively for a batch);
+  the leader commits an entry once a **majority** (itself included) has
+  acked, delivers it locally, and broadcasts COMMIT — batches also
+  piggyback the commit watermark, pipelining delivery at followers;
 * committed entries are delivered **in zxid order, exactly once** at
   every live replica;
 * on leader failure, followers elect the reachable replica with the
   highest ``(last_zxid, node_id)`` and the new leader syncs everyone with
-  its log (full-log sync — fine at simulation scale);
+  its log; an up-to-date follower resyncing over a SyncRequest receives
+  only the log suffix after its last zxid;
 * a replica recovering from a crash rejoins by asking the current leader
   for a sync.
 
@@ -22,12 +26,17 @@ modelling an fsync'd transaction log.
 
 from __future__ import annotations
 
+import operator
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 
 from ..sim import Environment
 from .txn import RequestMeta, Txn, TxnRecord
+
+#: Key for bisecting a (zxid-sorted) log by zxid.
+_record_zxid = operator.attrgetter("zxid")
 
 __all__ = ["ZabConfig", "ZabPeer", "Role", "NotLeaderError", "make_zxid",
            "zxid_epoch", "zxid_counter"]
@@ -59,6 +68,14 @@ class ZabConfig:
     heartbeat_ms: float = 50.0
     election_timeout_ms: float = 200.0
     election_window_ms: float = 60.0
+    #: Leader-side proposal batching. With ``batch_max_txns = 1`` (the
+    #: default) every update is proposed on its own, exactly as before
+    #: batching existed — same messages, same byte counts. Raising it
+    #: lets the leader accumulate up to that many transactions (or wait
+    #: at most ``batch_window_ms``) and ship them as one BatchProposal,
+    #: which followers ack cumulatively.
+    batch_window_ms: float = 0.0
+    batch_max_txns: int = 1
 
 
 # -- protocol messages --------------------------------------------------------
@@ -67,6 +84,20 @@ class ZabConfig:
 class Proposal:
     epoch: int
     record: TxnRecord
+
+
+@dataclass
+class BatchProposal:
+    """Several consecutive proposals in one message (leader batching).
+
+    ``committed_zxid`` piggybacks the leader's commit watermark so
+    followers can deliver earlier entries without waiting for the next
+    standalone Commit — the pipelining half of the batching change.
+    """
+
+    epoch: int
+    records: List[TxnRecord]
+    committed_zxid: int
 
 
 @dataclass
@@ -103,9 +134,17 @@ class CurrentLeader:
 
 @dataclass
 class NewLeader:
+    """Leader -> follower log sync.
+
+    ``log`` holds the suffix strictly after ``prefix_zxid``; a prefix of
+    0 means the full log. Sync replies to a follower whose claimed
+    position exists in the leader's log ship only the missing suffix.
+    """
+
     epoch: int
     log: List[TxnRecord]
     committed_zxid: int
+    prefix_zxid: int = 0
 
 
 @dataclass
@@ -144,8 +183,14 @@ class ZabPeer:
 
         # leader bookkeeping
         self._acked: Dict[str, int] = {}
+        #: The values of ``_acked``, kept sorted ascending so the quorum
+        #: watermark is one index lookup instead of a sort per ack.
+        self._ack_values: List[int] = []
         self._establish_acks: set[str] = set()
         self._established = False
+        #: Proposals appended to the log but not yet sent to followers.
+        self._pending_batch: List[TxnRecord] = []
+        self._flush_scheduled = False
 
         # election bookkeeping
         self._votes: Dict[str, tuple[int, str]] = {}
@@ -176,6 +221,7 @@ class ZabPeer:
             self.role = Role.LEADER
             self._established = True
             self._acked = {self.node_id: 0}
+            self._ack_values = [0]
         else:
             self.role = Role.FOLLOWER
         self._last_leader_contact = self.env.now
@@ -187,6 +233,8 @@ class ZabPeer:
     def crash(self) -> None:
         """Stop participating. Log and committed pointer persist (disk)."""
         self._alive = False
+        self._pending_batch = []
+        self._flush_scheduled = False
 
     def recover(self) -> None:
         """Come back up; rejoin by looking for the current leader."""
@@ -194,6 +242,8 @@ class ZabPeer:
         self.role = Role.LOOKING
         self.leader_id = None
         self._established = False
+        self._pending_batch = []
+        self._flush_scheduled = False
         self._last_leader_contact = self.env.now
         # Probe for a leader; if none answers, the failure detector will
         # eventually start an election.
@@ -205,18 +255,46 @@ class ZabPeer:
     # -- client of the protocol -----------------------------------------------
 
     def propose(self, txn: Txn, meta: Optional[RequestMeta] = None) -> int:
-        """Leader-only: append an update to the replicated log."""
+        """Leader-only: append an update to the replicated log.
+
+        The record is logged (and self-acked) immediately; whether it is
+        shipped right away or rides a batch depends on the config. With
+        the default ``batch_max_txns = 1`` this sends one Proposal per
+        call, exactly like the pre-batching protocol.
+        """
         if not self.is_leader:
             raise NotLeaderError(self.node_id)
         self._counter += 1
         zxid = make_zxid(self.epoch, self._counter)
         record = TxnRecord(zxid=zxid, txn=txn, meta=meta)
         self.log.append(record)
-        self._acked[self.node_id] = zxid
-        for peer in self.peer_ids:
-            self._send(peer, Proposal(self.epoch, record))
+        self._ack_update(self.node_id, zxid)
+        self._pending_batch.append(record)
+        if (len(self._pending_batch) >= self.config.batch_max_txns
+                or self.config.batch_window_ms <= 0.0):
+            self._flush_batch()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.env.defer(self.config.batch_window_ms, self._flush_timer)
         self._advance_commit()
         return zxid
+
+    def _flush_timer(self) -> None:
+        self._flush_scheduled = False
+        if self._alive and self.role is Role.LEADER:
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        batch = self._pending_batch
+        if not batch:
+            return
+        self._pending_batch = []
+        if len(batch) == 1:
+            msg: object = Proposal(self.epoch, batch[0])
+        else:
+            msg = BatchProposal(self.epoch, batch, self.committed_zxid)
+        for peer in self.peer_ids:
+            self._send(peer, msg)
 
     # -- message dispatch ------------------------------------------------------
 
@@ -226,6 +304,8 @@ class ZabPeer:
             return True
         if isinstance(msg, Proposal):
             self._on_proposal(src, msg)
+        elif isinstance(msg, BatchProposal):
+            self._on_batch_proposal(src, msg)
         elif isinstance(msg, Ack):
             self._on_ack(src, msg)
         elif isinstance(msg, Commit):
@@ -268,21 +348,61 @@ class ZabPeer:
         self.log.append(msg.record)
         self._send(src, Ack(self.epoch, msg.record.zxid))
 
+    def _on_batch_proposal(self, src: str, msg: BatchProposal) -> None:
+        if msg.epoch < self.epoch or self.role is not Role.FOLLOWER:
+            return
+        if src != self.leader_id:
+            return
+        appended = False
+        for record in msg.records:
+            zxid = record.zxid
+            last = self.last_zxid
+            if self.log and zxid <= last:
+                continue  # duplicate (e.g. resent after a resync)
+            if zxid_epoch(last) == zxid_epoch(zxid):
+                expected = last + 1
+            else:
+                expected = make_zxid(zxid_epoch(zxid), 1)
+            if zxid != expected:
+                # Gap: ack what we appended, then ask for a resync.
+                self._send(src, SyncRequest(self.last_zxid))
+                break
+            self.log.append(record)
+            appended = True
+        if appended:
+            # One cumulative ack for the whole appended run.
+            self._send(src, Ack(self.epoch, self.last_zxid))
+        # Piggybacked commit watermark (capped at what we actually hold).
+        watermark = min(msg.committed_zxid, self.last_zxid)
+        if watermark > self.committed_zxid:
+            self.committed_zxid = watermark
+            self._deliver_committed()
+
     def _on_ack(self, src: str, msg: Ack) -> None:
         if self.role is not Role.LEADER or msg.epoch != self.epoch:
             return
-        previous = self._acked.get(src, 0)
-        if msg.zxid > previous:
-            self._acked[src] = msg.zxid
-        self._advance_commit()
+        if self._ack_update(src, msg.zxid):
+            self._advance_commit()
+
+    def _ack_update(self, node: str, zxid: int) -> bool:
+        """Record ``node`` has acked up to ``zxid``; True if it advanced."""
+        previous = self._acked.get(node)
+        if previous is not None:
+            if zxid <= previous:
+                return False
+            del self._ack_values[bisect_left(self._ack_values, previous)]
+        self._acked[node] = zxid
+        insort(self._ack_values, zxid)
+        return True
 
     def _advance_commit(self) -> None:
         if not self.is_leader:
             return
-        acked = sorted(self._acked.values(), reverse=True)
-        if len(acked) < self.quorum:
+        values = self._ack_values
+        if len(values) < self.quorum:
             return
-        candidate = acked[self.quorum - 1]
+        # The quorum watermark: the highest zxid acked by >= quorum nodes.
+        candidate = values[len(values) - self.quorum]
         # Only commit entries from the current epoch directly (older entries
         # are committed transitively, as in Raft/Zab).
         if candidate <= self.committed_zxid:
@@ -350,6 +470,7 @@ class ZabPeer:
         self.role = Role.LOOKING
         self._established = False
         self.leader_id = None
+        self._pending_batch = []
         self._term += 1
         self._votes = {self.node_id: (self.last_zxid, self.node_id)}
         self._election_pending = True
@@ -410,8 +531,11 @@ class ZabPeer:
         self.leader_id = self.node_id
         self._counter = 0
         self._acked = {self.node_id: self.last_zxid}
+        self._ack_values = [self.last_zxid]
         self._establish_acks = {self.node_id}
         self._established = False
+        self._pending_batch = []
+        # Establishment syncs everyone from scratch: full log (prefix 0).
         sync = NewLeader(self.epoch, list(self.log), self.last_zxid)
         for peer in self.peer_ids:
             self._send(peer, sync)
@@ -426,12 +550,25 @@ class ZabPeer:
         self.leader_id = src
         self.role = Role.FOLLOWER
         self._last_leader_contact = self.env.now
-        # Adopt the leader's log wholesale, preserving our delivery progress.
+        self._pending_batch = []
+        # Where had we delivered up to? (Read before any log surgery.)
         delivered_zxid = (self.log[self._delivered_upto - 1].zxid
                           if self._delivered_upto else 0)
-        self.log = list(msg.log)
-        self._delivered_upto = sum(
-            1 for record in self.log if record.zxid <= delivered_zxid)
+        if msg.prefix_zxid:
+            # Incremental sync: we must hold the claimed prefix exactly.
+            idx = bisect_right(self.log, msg.prefix_zxid, key=_record_zxid)
+            if idx == 0 or self.log[idx - 1].zxid != msg.prefix_zxid:
+                # We do not: fall back to a full sync.
+                self._send(src, SyncRequest(0))
+                return
+            del self.log[idx:]  # drop anything diverging past the prefix
+            self.log.extend(msg.log)
+        else:
+            # Full sync: adopt the leader's log wholesale.
+            self.log = list(msg.log)
+        # Preserve our delivery progress across the log swap.
+        self._delivered_upto = bisect_right(self.log, delivered_zxid,
+                                            key=_record_zxid)
         if msg.committed_zxid > self.committed_zxid:
             self.committed_zxid = msg.committed_zxid
         self._deliver_committed()
@@ -443,7 +580,7 @@ class ZabPeer:
         if self.role is not Role.LEADER or msg.epoch != self.epoch:
             return
         self._establish_acks.add(src)
-        self._acked[src] = self.last_zxid
+        self._ack_update(src, self.last_zxid)
         if len(self._establish_acks) >= self.quorum and not self._established:
             self._finish_establishment()
 
@@ -462,5 +599,17 @@ class ZabPeer:
     def _on_sync_request(self, src: str, msg: SyncRequest) -> None:
         if self.role is not Role.LEADER:
             return
-        self._send(src, NewLeader(self.epoch, list(self.log),
-                                  self.committed_zxid))
+        # Incremental sync: if the follower's claimed position exists in
+        # our log, ship only the suffix after it; otherwise (diverged or
+        # unknown zxid) fall back to the full log.
+        prefix_zxid = 0
+        suffix = None
+        if msg.last_zxid:
+            idx = bisect_right(self.log, msg.last_zxid, key=_record_zxid)
+            if idx and self.log[idx - 1].zxid == msg.last_zxid:
+                prefix_zxid = msg.last_zxid
+                suffix = self.log[idx:]
+        if suffix is None:
+            suffix = list(self.log)
+        self._send(src, NewLeader(self.epoch, suffix,
+                                  self.committed_zxid, prefix_zxid))
