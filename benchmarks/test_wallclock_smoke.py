@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 
-from repro.bench.wallclock import _batched_config, main, measure_queue
+from repro.bench.wallclock import (_batched_config, main, measure_queue,
+                                   measure_read_heavy)
 
 EXPECT_KEYS = {"wall_s", "sim_events", "events_per_wall_s", "sim_ops_per_s",
                "mean_latency_ms", "client_kb_per_op", "completed_ops"}
@@ -39,6 +40,31 @@ def test_batched_config_available():
     config = _batched_config()
     assert config is not None
     assert config.zab.batch_max_txns > 1
+
+
+def test_measure_read_heavy_scales():
+    """Local reads + observers beat the leader-only read baseline."""
+    base = measure_read_heavy("zk", scaled=False, repeat=1, clients=16,
+                              measure_ms=200.0)
+    scaled = measure_read_heavy("zk", scaled=True, repeat=1, clients=16,
+                                measure_ms=200.0)
+    assert EXPECT_KEYS | {"read_latency_ms", "write_latency_ms"} <= set(base)
+    assert base["completed_ops"] > 0 and scaled["completed_ops"] > 0
+    assert scaled["sim_ops_per_s"] > base["sim_ops_per_s"]
+
+
+def test_main_read_heavy_workload(tmp_path, monkeypatch):
+    """--workload read-heavy records the read_heavy section + scaling."""
+    import repro.bench.wallclock as wc
+    monkeypatch.setattr(wc, "CLIENTS", 16)
+    monkeypatch.setattr(wc, "MEASURE_MS", 200.0)
+    out = tmp_path / "BENCH_core.json"
+    assert main(["--workload", "read-heavy", "--output", str(out),
+                 "--repeat", "1"]) == 0
+    payload = json.loads(out.read_text())
+    systems = payload["read_heavy"]["systems"]
+    for kind in ("zk", "ezk"):
+        assert systems[kind]["read_scaling_x"] > 1.0
 
 
 def test_main_records_baseline_then_current(tmp_path, monkeypatch):

@@ -7,7 +7,7 @@ has at most one request outstanding (§6).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..depspace import DsEnsemble
 from ..eds import EdsEnsemble
@@ -38,9 +38,18 @@ def make_ensemble(kind: str, seed: int = 11, **kwargs):
     return ensemble
 
 
-def make_coords(ensemble, kind: str, n: int) -> Tuple[List[CoordClient], list]:
-    """``n`` connected abstract clients plus the raw client objects."""
-    raw = [ensemble.client() for _ in range(n)]
+def make_coords(ensemble, kind: str, n: int,
+                replica: Optional[str] = None
+                ) -> Tuple[List[CoordClient], list]:
+    """``n`` connected abstract clients plus the raw client objects.
+
+    ``replica`` pins every client to one replica (ZK-family only) —
+    the read-scaling benchmark uses it for its leader-only baseline.
+    """
+    if replica is not None:
+        raw = [ensemble.client(replica=replica) for _ in range(n)]
+    else:
+        raw = [ensemble.client() for _ in range(n)]
     if kind in ("zk", "ezk"):
         def connect_all():
             for client in raw:

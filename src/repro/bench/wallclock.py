@@ -1,9 +1,18 @@
 """Wall-clock microbenchmark for the simulation kernel (BENCH_core.json).
 
 The figure benchmarks report *simulated* metrics; this module measures
-how fast the kernel itself chews through events in *real* time. It runs
-the Figure-8 distributed-queue driver (``run_queue_workload``) with 32
-closed-loop clients and records, per system:
+how fast the kernel itself chews through events in *real* time. The
+``--workload`` flag picks the driver:
+
+* ``fig8-queue`` (default) — the Figure-8 distributed-queue driver
+  (``run_queue_workload``) with 32 closed-loop clients;
+* ``read-heavy`` — the 90/10 read-dominated regular-client driver
+  (``run_read_heavy_workload``), measured twice per system: the
+  leader-only baseline (all clients pinned to replica 0) and the
+  read-scaled configuration (``local_reads`` + 2 observers), with the
+  ``sim_ops_per_s`` ratio recorded as ``read_scaling_x``.
+
+Each row records, per system:
 
 * ``events_per_wall_s`` — kernel events processed per wall-clock second
   (the headline number the perf work is judged on),
@@ -15,6 +24,7 @@ Usage::
 
     PYTHONPATH=src python -m repro.bench.wallclock --baseline   # once
     PYTHONPATH=src python -m repro.bench.wallclock              # after changes
+    PYTHONPATH=src python -m repro.bench.wallclock --workload read-heavy
 
 The first form records the pre-change baseline into ``BENCH_core.json``;
 the second re-measures, stores the result next to the baseline, and
@@ -30,14 +40,17 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
-from .workload import run_queue_workload
+from .workload import run_queue_workload, run_read_heavy_workload
 
-__all__ = ["measure_queue", "run_bench", "main"]
+__all__ = ["measure_queue", "measure_read_heavy", "run_bench",
+           "run_read_bench", "main"]
 
 DEFAULT_OUTPUT = Path("BENCH_core.json")
 CLIENTS = 32
 MEASURE_MS = 500.0
 SYSTEMS = ("zk", "ezk")
+WORKLOADS = ("fig8-queue", "read-heavy")
+READ_OBSERVERS = 2
 
 
 def _batched_config():
@@ -95,6 +108,50 @@ def run_bench(repeat: int = 3, include_batched: bool = True
     return rows
 
 
+def measure_read_heavy(kind: str, scaled: bool, repeat: int = 3,
+                       clients: int = CLIENTS,
+                       measure_ms: float = MEASURE_MS) -> Dict[str, float]:
+    """One read-heavy cell: leader-only baseline or read-scaled config."""
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = run_read_heavy_workload(
+            kind, clients, measure_ms=measure_ms,
+            local_reads=scaled,
+            n_observers=READ_OBSERVERS if scaled else 0,
+            pin_leader=not scaled)
+        wall_s = time.perf_counter() - start
+        if best is None or wall_s < best["wall_s"]:
+            best = {
+                "wall_s": round(wall_s, 4),
+                "sim_events": result.extra["sim_events"],
+                "events_per_wall_s": round(
+                    result.extra["sim_events"] / wall_s, 1),
+                "sim_ops_per_s": round(result.throughput_ops, 2),
+                "mean_latency_ms": round(result.mean_latency_ms, 4),
+                "read_latency_ms": round(result.extra["read_ms"], 4),
+                "write_latency_ms": round(result.extra["write_ms"], 4),
+                "client_kb_per_op": round(result.client_kb_per_op, 4),
+                "completed_ops": result.completed_ops,
+            }
+    return best
+
+
+def run_read_bench(repeat: int = 3) -> Dict[str, Dict]:
+    """Leader-only vs read-scaled rows per system, plus the scaling ratio."""
+    rows: Dict[str, Dict] = {}
+    for kind in SYSTEMS:
+        leader_only = measure_read_heavy(kind, scaled=False, repeat=repeat)
+        scaled = measure_read_heavy(kind, scaled=True, repeat=repeat)
+        rows[kind] = {
+            "leader_only": leader_only,
+            "local_reads+2obs": scaled,
+            "read_scaling_x": round(
+                scaled["sim_ops_per_s"] / leader_only["sim_ops_per_s"], 3),
+        }
+    return rows
+
+
 def _load(path: Path) -> dict:
     if path.exists():
         return json.loads(path.read_text())
@@ -107,7 +164,28 @@ def main(argv: Optional[list] = None) -> int:
                         help="record this run as the pre-change baseline")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--workload", choices=WORKLOADS,
+                        default="fig8-queue",
+                        help="driver to measure (default: fig8-queue)")
     args = parser.parse_args(argv)
+
+    if args.workload == "read-heavy":
+        rows = run_read_bench(repeat=args.repeat)
+        payload = _load(args.output)
+        payload["read_heavy"] = {
+            "clients": CLIENTS,
+            "measure_ms": MEASURE_MS,
+            "observers": READ_OBSERVERS,
+            "systems": rows,
+        }
+        for kind, row in rows.items():
+            print(f"  {kind:<5} leader-only="
+                  f"{row['leader_only']['sim_ops_per_s']:>10.1f} ops/s  "
+                  f"local_reads+{READ_OBSERVERS}obs="
+                  f"{row['local_reads+2obs']['sim_ops_per_s']:>10.1f} ops/s  "
+                  f"scaling={row['read_scaling_x']:.2f}x")
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        return 0
 
     rows = run_bench(repeat=args.repeat, include_batched=not args.baseline)
     payload = _load(args.output)

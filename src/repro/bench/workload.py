@@ -10,6 +10,7 @@ operation.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -28,6 +29,7 @@ __all__ = [
     "run_election_workload",
     "run_queue_with_regular_clients",
     "run_regular_op_latency",
+    "run_read_heavy_workload",
 ]
 
 
@@ -344,6 +346,90 @@ def run_queue_with_regular_clients(
     result = window.result(kind, queue_clients)
     result.extra["regular_read_ms"] = read_lat.mean
     result.extra["regular_write_ms"] = write_lat.mean
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Read-path scaling: 90/10 read-heavy regular clients
+# ---------------------------------------------------------------------------
+
+def run_read_heavy_workload(
+        kind: str, n_clients: int, read_fraction: float = 0.9,
+        object_bytes: int = 256, warmup_ms: float = 100.0,
+        measure_ms: float = 500.0, seed: int = 37,
+        local_reads: bool = False, n_observers: int = 0,
+        pin_leader: bool = False) -> WorkloadResult:
+    """Fig-13-style regular clients, but read-dominated (default 90/10).
+
+    Each client loops over its own 256-byte object, choosing read vs
+    update with a per-client deterministic RNG. This is the workload the
+    read-scaling layer is judged on:
+
+    * ``pin_leader`` connects every client to replica 0 — the
+      leader-only baseline in which all reads serialize on one CPU;
+    * ``local_reads`` turns on session-consistent local reads (ZK
+      family) or the BFT-SMaRt unordered-read optimization (DS family);
+    * ``n_observers`` adds non-voting learners (ZK family only), which
+      the ensemble's client spread then exercises.
+
+    Extras carry split read/write latencies, in-window op counts, and
+    ``sim_events`` for the wall-clock bench.
+    """
+    kwargs = {}
+    if kind in ("zk", "ezk"):
+        if local_reads:
+            from ..zk.server import ZkConfig
+            kwargs["config"] = ZkConfig(local_reads=True)
+        if n_observers:
+            kwargs["n_observers"] = n_observers
+    else:
+        if n_observers or pin_leader:
+            raise ValueError(
+                "observers / leader pinning apply to the ZK family only")
+        if local_reads:
+            from ..depspace.server import DsConfig
+            kwargs["config"] = DsConfig(unordered_reads=True)
+    ensemble = make_ensemble(kind, seed=seed, **kwargs)
+    replica = ensemble.replica_ids[0] if pin_leader else None
+    coords, raw = make_coords(ensemble, kind, n_clients, replica=replica)
+    payload = b"x" * object_bytes
+
+    def prepare(coord, index):
+        yield from ensure_object(coord, f"/robj{index}", payload)
+
+    for index, coord in enumerate(coords):
+        run_all(ensemble, prepare(coord, index))
+
+    window = _Window(ensemble, raw, warmup_ms, measure_ms)
+    read_lat = LatencyRecorder(warmup_until=window.start)
+    write_lat = LatencyRecorder(warmup_until=window.start)
+    counts = {"reads": 0, "writes": 0}
+
+    def worker(coord, index):
+        rng = random.Random(f"read-heavy-{seed}-{index}")
+        while window.open_:
+            started = window.env.now
+            if rng.random() < read_fraction:
+                yield from coord.read(f"/robj{index}")
+                read_lat.record(window.env.now, window.env.now - started)
+                if started >= window.start:
+                    counts["reads"] += 1
+            else:
+                yield from coord.update(f"/robj{index}", payload)
+                write_lat.record(window.env.now, window.env.now - started)
+                if started >= window.start:
+                    counts["writes"] += 1
+            window.record(started)
+
+    for index, coord in enumerate(coords):
+        ensemble.env.process(worker(coord, index))
+    window.run()
+    result = window.result(kind, n_clients)
+    result.extra["read_ms"] = read_lat.mean
+    result.extra["write_ms"] = write_lat.mean
+    result.extra["reads"] = float(counts["reads"])
+    result.extra["writes"] = float(counts["writes"])
+    result.extra["sim_events"] = float(ensemble.env.events_processed)
     return result
 
 

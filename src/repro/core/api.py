@@ -27,7 +27,7 @@ its native wire operations onto them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 __all__ = ["ObjectRecord", "AbstractState", "OperationRequest", "EventNotice",
            "OP_TYPES", "EVENT_TYPES"]

@@ -8,8 +8,8 @@ executed atomically at the server side through the ``local`` state proxy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 from .api import EVENT_TYPES, OP_TYPES, AbstractState, EventNotice, OperationRequest
 

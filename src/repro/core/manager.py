@@ -22,8 +22,7 @@ from types import CodeType
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from .api import AbstractState, EventNotice, OperationRequest
-from .errors import (ExtensionRejectedError, NotAuthorizedError,
-                     UnknownExtensionError)
+from .errors import NotAuthorizedError, UnknownExtensionError
 from .extension import EventSubscription, Extension, OperationSubscription
 from .sandbox import (BudgetedState, SandboxLimits, compile_extension_source,
                       instantiate_extension, run_contained)

@@ -8,7 +8,7 @@ the EZK/EDS proxies must follow.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .api import AbstractState, ObjectRecord
 from .errors import NoObjectError, ObjectExistsError

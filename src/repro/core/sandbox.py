@@ -26,7 +26,7 @@ import builtins as _builtins
 import sys
 from dataclasses import dataclass
 from types import CodeType
-from typing import Any, Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional
 
 from .api import AbstractState, ObjectRecord
 from .errors import (BudgetExceededError, ExtensionCrashedError,

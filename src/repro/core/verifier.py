@@ -28,8 +28,8 @@ constructs the sandbox cannot contain.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import Iterable, List, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Set, Tuple
 
 from .errors import ExtensionRejectedError
 

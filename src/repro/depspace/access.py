@@ -9,7 +9,7 @@ every correct replica.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Set
 
 __all__ = ["AccessControl", "AccessDeniedError"]
 

@@ -10,7 +10,6 @@ periodic retransmission to survive message loss.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..sim import Environment, Event, Network

@@ -48,14 +48,27 @@ class DsEnsemble:
         view = max(r.bft.view for r in self.replicas if r._alive)
         return self.replicas[view % len(self.replicas)]
 
-    def client(self, node_id: Optional[str] = None) -> DsClient:
+    def client(self, node_id: Optional[str] = None,
+               unordered_reads: Optional[bool] = None) -> DsClient:
+        """Create a client.
+
+        ``unordered_reads`` overrides the ensemble default per client
+        (mirroring ZK's per-session read knobs): a recipe that tolerates
+        BFT-SMaRt's weaker read guarantee opts in and pays 2f+1 matching
+        replies instead of f+1, skipping the ordering protocol entirely.
+        Only meaningful when the replicas run with
+        ``DsConfig.unordered_reads`` — the fast path must exist
+        server-side for the larger quorum to be answered.
+        """
         if node_id is None:
             node_id = f"dsclient{self._client_count}"
         self._client_count += 1
+        if unordered_reads is None:
+            unordered_reads = self.config.unordered_reads
         return self.client_class(self.env, self.net, node_id,
                                  self.replica_ids, f=self.f,
                                  lease_ms=self.config.lease_ms,
-                                 unordered_reads=self.config.unordered_reads)
+                                 unordered_reads=unordered_reads)
 
     def spaces_consistent(self) -> bool:
         """True when every live replica holds the same tuple state."""

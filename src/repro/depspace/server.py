@@ -29,7 +29,7 @@ from .bft import BftConfig, BftPeer, BftRequest, RequestId
 from .policy import Policy, PolicyViolationError
 from .protocol import (CasOp, DsOp, DsReply, InOp, InpOp, OutOp, RdAllOp,
                        RdOp, RdpOp, RenewOp, ReplaceOp, StateRequest,
-                       StateResponse, is_blocking)
+                       StateResponse)
 from .space import LeaseRecord, TupleSpace
 from .tuples import BadTupleError, TupleSpaceError
 

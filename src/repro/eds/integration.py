@@ -26,8 +26,8 @@ from ..core import (EventNotice, ExtensionError, ExtensionManager,
                     OperationRequest, SandboxLimits, VerifierConfig)
 from ..depspace.bft import BftRequest
 from ..depspace.policy import PolicyViolationError
-from ..depspace.protocol import (CasOp, DsOp, InOp, InpOp, OutOp, RdAllOp,
-                                 RdOp, RdpOp, ReplaceOp)
+from ..depspace.protocol import (DsOp, InOp, InpOp, OutOp, RdAllOp, RdOp,
+                                 RdpOp, ReplaceOp)
 from ..depspace.server import BLOCKED, DsEvent, DsReplica, Waiter
 from ..depspace.tuples import ANY, Prefix, _Any
 from .state_proxy import DsDirectState

@@ -37,4 +37,4 @@ class EzkEnsemble(ZkEnsemble):
             server.tree.create(EM_ROOT)
 
     def binding(self, node_id: str) -> EzkBinding:
-        return self.bindings[self.replica_ids.index(node_id)]
+        return self.bindings[self.all_ids.index(node_id)]

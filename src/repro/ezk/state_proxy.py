@@ -19,7 +19,7 @@ from ..zk.data_tree import DataTree, validate_path
 from ..zk.errors import (BadVersionError, NodeExistsError, NoNodeError,
                          ZkError)
 from ..zk.overlay import TreeOverlay
-from ..zk.txn import MultiTxn, Txn
+from ..zk.txn import MultiTxn
 
 __all__ = ["ZkBufferedState"]
 

@@ -9,8 +9,6 @@ methods are generators (simulation processes): call them with
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
-
 from ..core.api import ObjectRecord
 
 __all__ = ["CoordClient", "ObjectRecord"]

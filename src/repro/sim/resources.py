@@ -10,7 +10,7 @@ growth under load in Figures 6–13.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
 from .environment import Environment
 from .events import Event

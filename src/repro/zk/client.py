@@ -11,19 +11,25 @@ keep-alive pings.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import random
+from typing import Callable, Dict, List, Optional
 
 from ..sim import Environment, Event, Network
-from .errors import ConnectionLossError, ZkError, from_code
+from .errors import ConnectionLossError, from_code
 from .txn import (ClientReply, ClientRequest, CloseSessionOp, CreateOp,
                   CreateSessionOp, DeleteOp, ExistsOp, GetChildrenOp,
-                  GetDataOp, MultiOp, Op, PingOp, SetDataOp,
-                  WatchNotification)
-from .watches import EventType
+                  GetDataOp, MultiOp, Op, PingOp, SetDataOp, SyncOp,
+                  WatchNotification, ZxidClientRequest)
 
 __all__ = ["ZkClient"]
 
 _DEFAULT_TIMEOUT_MS = 3000.0
+
+#: ConnectionLoss retry backoff: first retry keeps the historical 50 ms,
+#: then doubles (with jitter) up to the cap so clients bounced by the
+#: same election don't hammer the new leader in lockstep.
+_RETRY_BASE_MS = 50.0
+_RETRY_CAP_MS = 800.0
 
 #: Sentinel delivered to a pending call when its timer expires first.
 _TIMED_OUT = object()
@@ -34,7 +40,8 @@ class ZkClient:
 
     def __init__(self, env: Environment, net: Network, node_id: str,
                  replicas: List[str], replica: Optional[str] = None,
-                 session_timeout_ms: float = 2000.0):
+                 session_timeout_ms: float = 2000.0,
+                 track_zxid: bool = False):
         self.env = env
         self.net = net
         self.node_id = node_id
@@ -42,6 +49,15 @@ class ZkClient:
         self.replica = replica or self.replicas[0]
         self.session_timeout_ms = session_timeout_ms
         self.session_id: Optional[int] = None
+
+        #: Session consistency (pair with ZkConfig.local_reads): stamp
+        #: requests with the highest zxid this session has seen, so a
+        #: lagging replica parks our reads instead of serving stale state.
+        self.track_zxid = track_zxid
+        self.last_zxid = 0
+        # String-seeded so backoff jitter is deterministic per client
+        # across processes (hash() of a str is salted per interpreter).
+        self._retry_rng = random.Random(f"zkclient-backoff-{node_id}")
 
         self._xid = 0
         self._pending: Dict[int, Event] = {}
@@ -63,11 +79,18 @@ class ZkClient:
 
     def _on_message(self, src: str, msg: object) -> None:
         if isinstance(msg, ClientReply):
+            self._observe_zxid(getattr(msg, "zxid", 0))
             future = self._pending.pop(msg.xid, None)
             if future is not None and not future.triggered:
                 future.succeed(msg)
         elif isinstance(msg, WatchNotification):
+            self._observe_zxid(getattr(msg, "zxid", 0))
             self._dispatch_watch(msg)
+
+    def _observe_zxid(self, zxid: int) -> None:
+        """Raise the session's last-seen zxid (replies and watch pushes)."""
+        if zxid > self.last_zxid:
+            self.last_zxid = zxid
 
     def _dispatch_watch(self, notification: WatchNotification) -> None:
         waiters = self._event_waiters.pop(notification.path, [])
@@ -98,12 +121,17 @@ class ZkClient:
         xid = self._xid
         session = self.session_id or 0
         attempts = 0
+        loss_retries = 0
         while True:
             attempts += 1
             future = self.env.event()
             self._pending[xid] = future
-            self.net.send(self.node_id, self.replica,
-                          ClientRequest(session, xid, op))
+            if self.track_zxid:
+                request = ZxidClientRequest(session, xid, op,
+                                            last_zxid=self.last_zxid)
+            else:
+                request = ClientRequest(session, xid, op)
+            self.net.send(self.node_id, self.replica, request)
             if timeout_ms is not None:
                 # Deadline as a deferred callback: one slotted Callback
                 # instead of a Timeout event plus an AnyOf condition per
@@ -119,8 +147,16 @@ class ZkClient:
                 continue
             if not reply.ok:
                 if reply.error_code == ConnectionLossError.code:
-                    # Replica lost its leader; back off briefly and retry.
-                    yield self.env.timeout(50.0)
+                    # Replica lost its leader: exponential backoff with
+                    # jitter so retry storms don't synchronize during an
+                    # election. The first retry keeps the fixed 50 ms
+                    # delay; only later (rarer) retries draw jitter.
+                    delay = min(_RETRY_CAP_MS,
+                                _RETRY_BASE_MS * (2 ** loss_retries))
+                    if loss_retries > 0:
+                        delay *= 0.5 + self._retry_rng.random()
+                    loss_retries += 1
+                    yield self.env.timeout(delay)
                     if attempts >= 2 * len(self.replicas) + 1:
                         raise from_code(reply.error_code, reply.error_message)
                     continue
@@ -202,6 +238,17 @@ class ZkClient:
     def multi(self, ops: List[Op]):
         """Atomic batch of update operations."""
         value = yield from self._call(MultiOp(list(ops)))
+        return value
+
+    def sync(self):
+        """Flush to the leader; returns its committed zxid (no txn).
+
+        For a zxid-tracking client the reply raises ``last_zxid`` to the
+        leader's commit point, so the *next* local read observes every
+        write that committed before the sync — ZooKeeper's recipe for a
+        linearizable read (``sync(); read()``).
+        """
+        value = yield from self._call(SyncOp())
         return value
 
     # -- blocking / notification helpers --------------------------------------

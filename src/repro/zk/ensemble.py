@@ -12,11 +12,15 @@ __all__ = ["ZkEnsemble"]
 
 
 class ZkEnsemble:
-    """``2f + 1`` ZooKeeper replicas on a simulated network.
+    """``2f + 1`` ZooKeeper replicas (plus observers) on a simulated network.
 
     The ensemble boots with replica 0 as the established leader (no
     initial election round), matching how benchmarks bring up a healthy
     cluster; elections still run on failure.
+
+    ``n_observers`` adds non-voting learners: they receive the committed
+    stream and serve reads, but never ack proposals or vote, so read
+    capacity grows without widening the write quorum.
     """
 
     #: client implementation handed out by :meth:`client` (EZK overrides).
@@ -26,18 +30,31 @@ class ZkEnsemble:
                  config: Optional[ZkConfig] = None,
                  net: Optional[Network] = None, seed: int = 0,
                  latency: Optional[LatencyModel] = None,
-                 name_prefix: str = "zk"):
+                 name_prefix: str = "zk", n_observers: int = 0):
         if n_replicas < 1 or n_replicas % 2 == 0:
             raise ValueError("ensemble size must be odd and positive")
+        if n_observers < 0:
+            raise ValueError("n_observers must be non-negative")
         self.env = env or Environment()
         self.net = net or Network(self.env, latency=latency, seed=seed)
         self.config = config or ZkConfig()
         self.replica_ids = [f"{name_prefix}{i}" for i in range(n_replicas)]
+        self.observer_ids = [f"{name_prefix}{n_replicas + i}"
+                             for i in range(n_observers)]
+        #: every state-holding node, voters first (indexes ``servers``).
+        self.all_ids = self.replica_ids + self.observer_ids
         self.servers: List[ZkServer] = []
         for node_id in self.replica_ids:
             peers = [p for p in self.replica_ids if p != node_id]
             self.servers.append(
-                ZkServer(self.env, self.net, node_id, peers, self.config))
+                ZkServer(self.env, self.net, node_id, peers, self.config,
+                         observer_ids=self.observer_ids))
+        for node_id in self.observer_ids:
+            # An observer's peer list is the full voting set: whichever
+            # of them leads is where its syncs and forwards go.
+            self.servers.append(
+                ZkServer(self.env, self.net, node_id, list(self.replica_ids),
+                         self.config, is_observer=True))
         self._client_count = 0
         self._started = False
 
@@ -55,7 +72,21 @@ class ZkEnsemble:
         return None
 
     def server(self, node_id: str) -> ZkServer:
-        return self.servers[self.replica_ids.index(node_id)]
+        return self.servers[self.all_ids.index(node_id)]
+
+    def _assign_replica(self) -> str:
+        """Round-robin connection spread for ensemble-built clients.
+
+        With the read-scaling knobs off this reproduces the historical
+        assignment (voting replicas only, leader included) exactly. With
+        ``local_reads`` on, clients spread over followers and observers
+        so local reads actually land on the scaled-out capacity; the
+        bootstrap leader only preps/broadcasts writes.
+        """
+        pool = self.all_ids
+        if self.config.local_reads and len(pool) > 1:
+            pool = pool[1:]
+        return pool[self._client_count % len(pool)]
 
     def client(self, node_id: Optional[str] = None,
                session_timeout_ms: float = 2000.0,
@@ -66,11 +97,12 @@ class ZkEnsemble:
         if node_id is None:
             node_id = f"zkclient{self._client_count}"
         if replica is None:
-            replica = self.replica_ids[self._client_count % len(self.replica_ids)]
+            replica = self._assign_replica()
         self._client_count += 1
         return self.client_class(self.env, self.net, node_id,
-                                 self.replica_ids, replica=replica,
-                                 session_timeout_ms=session_timeout_ms)
+                                 self.all_ids, replica=replica,
+                                 session_timeout_ms=session_timeout_ms,
+                                 track_zxid=self.config.local_reads)
 
     def trees_consistent(self) -> bool:
         """True when every live replica holds the same tree (test helper)."""

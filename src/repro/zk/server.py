@@ -13,6 +13,15 @@ Reads take ZooKeeper's fast path: they execute at the replica the client
 is connected to, against its locally committed state, without touching
 the leader.
 
+With ``ZkConfig.local_reads`` enabled the fast path additionally
+enforces **session consistency**: requests carry the session's
+last-seen zxid, replies carry the zxid the replica answered at, and a
+replica whose applied state lags a request's zxid parks the read until
+it catches up. A ``SyncOp`` (leader round-trip, no transaction) lets a
+client upgrade its next local read to a linearizable one. Replicas may
+also be **observers** — non-voting learners that apply the committed
+stream and serve reads but never widen the write quorum (§ DESIGN 7).
+
 Extensible ZooKeeper hooks in at exactly the points §5.1.2 describes,
 via three attributes that default to ``None``:
 
@@ -34,18 +43,18 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..sim import Environment, FifoResource, Network
 from .data_tree import DataTree, split_path
-from .errors import (ConnectionLossError, SessionExpiredError, ZkError,
-                     to_code)
+from .errors import ConnectionLossError, ZkError, to_code
 from .overlay import TreeOverlay
-from .sessions import HeartbeatTracker, SessionTable
+from .sessions import ConsistencyTracker, HeartbeatTracker, SessionTable
 from .txn import (ClientReply, ClientRequest, CloseSessionOp, CloseSessionTxn,
                   CreateOp, CreateSessionOp, CreateSessionTxn, CreateTxn,
                   DeleteOp, DeleteTxn, ErrorTxn, ExistsOp, GetChildrenOp,
                   GetDataOp, MultiOp, MultiTxn, Op, PingOp, RequestMeta,
-                  SetDataOp, SetDataTxn, Txn, TxnRecord, WatchNotification,
+                  SetDataOp, SetDataTxn, SyncOp, Txn, TxnRecord,
+                  WatchNotification, ZxidReply, ZxidWatchNotification,
                   is_update)
 from .watches import EventType, WatchEvent, WatchManager
-from .zab import NotLeaderError, ZabConfig, ZabPeer
+from .zab import ZabConfig, ZabPeer
 
 __all__ = ["ZkTimings", "ZkConfig", "ZkServer", "Forward", "SessionPing",
            "InterceptResult", "StateEvent"]
@@ -68,6 +77,12 @@ class ZkConfig:
     zab: ZabConfig = field(default_factory=ZabConfig)
     session_timeout_ms: float = 2000.0
     expiry_sweep_ms: float = 100.0
+    #: Session-consistent local reads (ZooKeeper's real read path).
+    #: Replies and watch notifications carry the replica's zxid, clients
+    #: stamp requests with their last-seen zxid, and lagging replicas
+    #: park reads until they catch up. Off by default — the figure
+    #: benchmarks reproduce the seed bit-for-bit with this off.
+    local_reads: bool = False
 
 
 @dataclass
@@ -109,28 +124,43 @@ class ZkServer:
     """One replica of the (extensible-ready) ZooKeeper service."""
 
     def __init__(self, env: Environment, net: Network, node_id: str,
-                 peer_ids: List[str], config: Optional[ZkConfig] = None):
+                 peer_ids: List[str], config: Optional[ZkConfig] = None,
+                 observer_ids: Optional[List[str]] = None,
+                 is_observer: bool = False):
         self.env = env
         self.net = net
         self.node_id = node_id
         self.peer_ids = list(peer_ids)
         self.config = config or ZkConfig()
         self.timings = self.config.timings
+        self.is_observer = is_observer
 
         self.tree = DataTree()
         self.sessions = SessionTable()
         self.watches = WatchManager()
         self.heartbeats = HeartbeatTracker()
+        self.read_floors = ConsistencyTracker()
         self.cpu = FifoResource(env, name=f"{node_id}.cpu")
 
         #: sessions whose client is connected to *this* replica.
         self.local_sessions: Dict[int, str] = {}
         #: path -> [(session_id, xid, client_node)] replies deferred until create.
         self._deferred_blocks: Dict[str, List[Tuple[int, int, str]]] = {}
+        #: zxid of the last transaction applied to our tree.
+        self._applied_zxid = 0
+        #: reads waiting for this replica to catch up to a session's zxid:
+        #: (required zxid, meta, op), drained as transactions apply.
+        self._parked_reads: List[Tuple[int, RequestMeta, Op]] = []
 
-        self.zab = ZabPeer(env, node_id, [node_id] + [p for p in peer_ids],
+        # An observer's Zab endpoint lists the voting replicas as its
+        # peers but never votes or acks; a voter additionally knows the
+        # observers so it can stream to them when it leads.
+        voting = peer_ids if is_observer else [node_id] + list(peer_ids)
+        self.zab = ZabPeer(env, node_id, voting,
                            send=self._zab_send, deliver=self._on_deliver,
-                           config=self.config.zab)
+                           config=self.config.zab,
+                           observer_ids=observer_ids,
+                           is_observer=is_observer)
         self.zab.on_role_change = self._on_role_change
         self._spec_tree: Optional[DataTree] = None
 
@@ -171,6 +201,7 @@ class ZkServer:
         self._alive = False
         self.net.crash(self.node_id)
         self.zab.crash()
+        self._parked_reads.clear()
 
     def recover(self) -> None:
         self._alive = True
@@ -202,13 +233,16 @@ class ZkServer:
             self._on_ping(src, req)
             return
         meta = RequestMeta(self.node_id, src, req.session_id, req.xid)
+        if isinstance(op, SyncOp):
+            self._route_sync(meta, req)
+            return
         routed_by_extension = (
             self.extension_router is not None
             and self.extension_router(req.session_id, op))
         if is_update(op) or routed_by_extension:
             self._route_update(meta, req)
         else:
-            self._handle_read(meta, op)
+            self._handle_read(meta, op, getattr(req, "last_zxid", 0))
 
     def _on_ping(self, src: str, req: ClientRequest) -> None:
         self.local_sessions.setdefault(req.session_id, src)
@@ -230,23 +264,83 @@ class ZkServer:
             self._reply_error(meta, ConnectionLossError("no leader known"))
 
     def _on_forward(self, fwd: Forward) -> None:
+        meta = RequestMeta(fwd.origin_replica, fwd.client_node,
+                           fwd.request.session_id, fwd.request.xid)
         if not self.zab.is_leader:
             # Stale forward (leadership moved): bounce an error so the
             # client retries against the new topology.
-            meta = RequestMeta(fwd.origin_replica, fwd.client_node,
-                               fwd.request.session_id, fwd.request.xid)
             self._reply_error(meta, ConnectionLossError("not the leader"))
             return
-        meta = RequestMeta(fwd.origin_replica, fwd.client_node,
-                           fwd.request.session_id, fwd.request.xid)
+        if isinstance(fwd.request.op, SyncOp):
+            self._answer_sync(meta)
+            return
         self._enter_prep(meta, fwd.request.op)
+
+    # -- sync (leader round-trip, no txn) -----------------------------------
+
+    def _route_sync(self, meta: RequestMeta, req: ClientRequest) -> None:
+        """ZooKeeper ``sync``: a flush to the leader with no transaction."""
+        self.local_sessions[meta.session_id] = meta.client_node
+        if self.zab.is_leader:
+            self._answer_sync(meta)
+        elif self.zab.leader_id is not None:
+            self.net.send(self.node_id, self.zab.leader_id,
+                          Forward(req, self.node_id, meta.client_node))
+        else:
+            self._reply_error(meta, ConnectionLossError("no leader known"))
+
+    def _answer_sync(self, meta: RequestMeta) -> None:
+        """Leader side: answer with the current commit point.
+
+        The reply's value (and zxid stamp) is the leader's committed
+        zxid when the sync reached it; a read parked on that zxid
+        observes every write that completed before the sync was issued.
+        """
+        self.heartbeats.touch(meta.session_id, self.env.now)
+        work = self.cpu.submit(self.timings.read_execute_ms)
+        work.add_callback(lambda _e: self._finish_sync(meta))
+
+    def _finish_sync(self, meta: RequestMeta) -> None:
+        if not self._alive:
+            return
+        if not self.zab.is_leader:
+            self._reply_error(meta, ConnectionLossError("leadership moved"))
+            return
+        zxid = self.zab.committed_zxid
+        self._reply(meta.client_node,
+                    ZxidReply(meta.xid, True, zxid, zxid=zxid))
 
     # -- read fast path ------------------------------------------------------
 
-    def _handle_read(self, meta: RequestMeta, op: Op) -> None:
+    def _handle_read(self, meta: RequestMeta, op: Op,
+                     last_zxid: int = 0) -> None:
         self.local_sessions[meta.session_id] = meta.client_node
+        if self.config.local_reads:
+            # Session consistency: never serve a state older than what
+            # this session has already seen (request stamp) or what this
+            # replica has already served it (local floor).
+            required = max(last_zxid, self.read_floors.floor(meta.session_id))
+            if required > self._applied_zxid:
+                self._parked_reads.append((required, meta, op))
+                return
+        self._submit_read(meta, op)
+
+    def _submit_read(self, meta: RequestMeta, op: Op) -> None:
         work = self.cpu.submit(self.timings.read_execute_ms)
         work.add_callback(lambda _e: self._execute_read(meta, op))
+
+    def _drain_parked_reads(self) -> None:
+        """Run every parked read the applied state now satisfies."""
+        if not self._parked_reads:
+            return
+        applied = self._applied_zxid
+        still_parked = []
+        for entry in self._parked_reads:
+            if entry[0] <= applied:
+                self._submit_read(entry[1], entry[2])
+            else:
+                still_parked.append(entry)
+        self._parked_reads = still_parked
 
     def _execute_read(self, meta: RequestMeta, op: Op) -> None:
         if not self._alive:
@@ -271,6 +365,12 @@ class ZkServer:
                 raise ZkError(f"not a read operation: {op!r}")
         except ZkError as error:
             self._reply_error(meta, error)
+            return
+        if self.config.local_reads:
+            zxid = self._applied_zxid
+            self.read_floors.note(meta.session_id, zxid)
+            self._reply(meta.client_node,
+                        ZxidReply(meta.xid, True, value, zxid=zxid))
             return
         self._reply(meta.client_node, ClientReply(meta.xid, True, value))
 
@@ -380,6 +480,9 @@ class ZkServer:
 
     def _on_deliver(self, record: TxnRecord) -> None:
         result, error, events = self._apply(record)
+        if record.zxid > self._applied_zxid:
+            self._applied_zxid = record.zxid
+        self._drain_parked_reads()
         work = self.cpu.submit(self.timings.apply_ms)
         work.add_callback(
             lambda _e: self._after_apply(record, result, error, events))
@@ -418,6 +521,7 @@ class ZkServer:
     def _close_session(self, session_id: int, events: List[StateEvent]) -> None:
         self.sessions.close(session_id)
         self.heartbeats.forget(session_id)
+        self.read_floors.forget(session_id)
         doomed = self.tree.kill_session(session_id)
         for path in doomed:
             events.append(StateEvent(EventType.NODE_DELETED, path))
@@ -433,7 +537,7 @@ class ZkServer:
         if self.event_hook is not None and events:
             self.event_hook(events, self)
         # 2. Watches + deferred block replies for locally-connected clients.
-        self._fire_watches(events)
+        self._fire_watches(events, record.zxid)
         # 3. Reply to the originating client.
         meta = record.meta
         if meta is None or meta.origin_replica != self.node_id:
@@ -451,6 +555,16 @@ class ZkServer:
             value = result
             if isinstance(record.txn, MultiTxn) and record.txn.payload_set:
                 value = record.txn.result_payload
+            if self.config.local_reads:
+                # The write's zxid becomes the session's read floor, so a
+                # subsequent read at any replica observes this write.
+                # (session_id 0 = a CreateSession request: the floor
+                # belongs to the new session, carried by the client.)
+                if meta.session_id:
+                    self.read_floors.note(meta.session_id, record.zxid)
+                self._reply(meta.client_node,
+                            ZxidReply(meta.xid, True, value, zxid=record.zxid))
+                return
             self._reply(meta.client_node, ClientReply(meta.xid, True, value))
 
     def _register_deferred_block(self, meta: RequestMeta, path: str) -> None:
@@ -466,7 +580,7 @@ class ZkServer:
         self._deferred_blocks.setdefault(path, []).append(
             (meta.session_id, meta.xid, meta.client_node))
 
-    def _fire_watches(self, events: List[StateEvent]) -> None:
+    def _fire_watches(self, events: List[StateEvent], zxid: int = 0) -> None:
         notifications: List[Tuple[int, WatchEvent]] = []
         for event in events:
             notifications.extend(
@@ -485,10 +599,19 @@ class ZkServer:
                     and self.notification_filter(session_id, watch_event)):
                 continue
             client = self.local_sessions.get(session_id)
-            if client is not None:
-                self._reply(client, WatchNotification(
+            if client is None:
+                continue
+            if self.config.local_reads:
+                # Stamp the triggering txn's zxid so a read issued after
+                # the notification (even at another replica) observes the
+                # change the client was notified about.
+                self._reply(client, ZxidWatchNotification(
                     session_id, watch_event.event_type.value,
-                    watch_event.path))
+                    watch_event.path, zxid=zxid))
+                continue
+            self._reply(client, WatchNotification(
+                session_id, watch_event.event_type.value,
+                watch_event.path))
 
     # -- session expiry (leader duty) ------------------------------------------
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["Session", "SessionTable", "HeartbeatTracker"]
+__all__ = ["Session", "SessionTable", "HeartbeatTracker",
+           "ConsistencyTracker"]
 
 
 @dataclass
@@ -97,3 +98,32 @@ class HeartbeatTracker:
         return sorted(
             sid for sid, seen in self._last_seen.items()
             if now - seen > self._timeouts[sid])
+
+
+@dataclass
+class ConsistencyTracker:
+    """Replica-local floor of the highest zxid served to each session.
+
+    Session consistency has two halves. The client tracks the last zxid
+    it has *seen* and stamps it on requests, which carries the floor
+    across a fail-over to another replica. This tracker is the server's
+    half: each replica remembers the highest zxid it has answered a
+    session with, so reads from that session never travel backwards in
+    time even if a (buggy or restarted) client stops stamping requests.
+    The floor is advisory, per-replica state — it is *not* replicated,
+    so it never appears in tree fingerprints or sync payloads.
+    """
+
+    _floors: Dict[int, int] = field(default_factory=dict)
+
+    def note(self, session_id: int, zxid: int) -> None:
+        """Record that ``session_id`` was answered at ``zxid``."""
+        if zxid > self._floors.get(session_id, 0):
+            self._floors[session_id] = zxid
+
+    def floor(self, session_id: int) -> int:
+        """Lowest zxid a read for ``session_id`` may be served at."""
+        return self._floors.get(session_id, 0)
+
+    def forget(self, session_id: int) -> None:
+        self._floors.pop(session_id, None)

@@ -11,17 +11,19 @@ transaction at any replica cannot fail. Failed validations become
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 __all__ = [
     # client operations
     "Op", "CreateOp", "DeleteOp", "SetDataOp", "GetDataOp", "GetChildrenOp",
     "ExistsOp", "MultiOp", "CreateSessionOp", "CloseSessionOp", "PingOp",
+    "SyncOp",
     # transactions
     "Txn", "CreateTxn", "DeleteTxn", "SetDataTxn", "MultiTxn",
     "CreateSessionTxn", "CloseSessionTxn", "ErrorTxn",
     # envelopes
     "RequestMeta", "ClientRequest", "ClientReply", "WatchNotification",
+    "ZxidClientRequest", "ZxidReply", "ZxidWatchNotification",
     "TxnRecord", "is_update",
 ]
 
@@ -94,6 +96,18 @@ class CloseSessionOp(Op):
 @dataclass
 class PingOp(Op):
     pass
+
+
+@dataclass
+class SyncOp(Op):
+    """Flush marker: a leader round-trip that produces no transaction.
+
+    The reply carries the leader's committed zxid at the time the sync
+    reached it; a zxid-tracking client then parks subsequent local reads
+    until its replica has applied at least that point, which makes
+    sync-then-read linearizable (every write committed before the sync
+    is visible to the read).
+    """
 
 
 _UPDATE_OPS = (CreateOp, DeleteOp, SetDataOp, MultiOp,
@@ -205,6 +219,42 @@ class WatchNotification:
     session_id: int
     event_type: str
     path: str
+
+
+# ---------------------------------------------------------------------------
+# zxid-consistent read-path envelopes (ZkConfig.local_reads)
+# ---------------------------------------------------------------------------
+# Subclasses rather than extra fields on the base envelopes: the figure
+# benchmarks must stay bit-identical with the read-scaling flags off, and
+# even one extra wire byte per message would shift every simulated
+# latency. The base types keep their exact sizes; these carry the zxid
+# only on sessions that opted into session-consistent local reads.
+
+@dataclass
+class ZxidClientRequest(ClientRequest):
+    """Request stamped with the session's last-seen zxid.
+
+    A replica whose applied state lags ``last_zxid`` parks the read
+    until it catches up (ZooKeeper's session consistency).
+    """
+
+    last_zxid: int = 0
+
+
+@dataclass
+class ZxidReply(ClientReply):
+    """Reply stamped with the zxid the answering replica spoke for."""
+
+    zxid: int = 0
+
+
+@dataclass
+class ZxidWatchNotification(WatchNotification):
+    """Watch push stamped with the zxid of the triggering transaction,
+    so a client that fails over after the notification still reads a
+    state that includes the change it was notified about."""
+
+    zxid: int = 0
 
 
 @dataclass

@@ -18,7 +18,12 @@ with the properties the paper's evaluation depends on:
   its log; an up-to-date follower resyncing over a SyncRequest receives
   only the log suffix after its last zxid;
 * a replica recovering from a crash rejoins by asking the current leader
-  for a sync.
+  for a sync;
+* **observers** are non-voting learners (ZooKeeper's read-scaling
+  replicas): they receive proposals, commits, heartbeats, and leader
+  syncs like followers, but they never ack, never vote, and never count
+  toward the commit or establishment quorum — adding observers widens
+  read capacity without widening the write quorum.
 
 Durable state (log + committed pointer) survives a simulated crash,
 modelling an fsync'd transaction log.
@@ -28,7 +33,7 @@ from __future__ import annotations
 
 import operator
 from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 
@@ -163,12 +168,19 @@ class ZabPeer:
     def __init__(self, env: Environment, node_id: str, peer_ids: List[str],
                  send: Callable[[str, object], None],
                  deliver: Callable[[TxnRecord], None],
-                 config: Optional[ZabConfig] = None):
+                 config: Optional[ZabConfig] = None,
+                 observer_ids: Optional[List[str]] = None,
+                 is_observer: bool = False):
         self.env = env
         self.node_id = node_id
+        #: voting members other than us (for an observer: all voters).
         self.peer_ids = [p for p in peer_ids if p != node_id]
         self.n = len(peer_ids)
         self.quorum = self.n // 2 + 1
+        #: non-voting learners this peer streams to when leading.
+        self.observer_ids = [o for o in (observer_ids or []) if o != node_id]
+        self._observer_set = frozenset(self.observer_ids)
+        self.is_observer = is_observer
         self._send = send
         self._deliver = deliver
         self.config = config or ZabConfig()
@@ -197,6 +209,8 @@ class ZabPeer:
         self._term = 0
         self._election_pending = False
         self._last_leader_contact = env.now
+        #: throttle for heartbeat-driven lag resyncs (see _on_heartbeat).
+        self._last_lag_sync = -1.0
         self._alive = True
         self.on_role_change: Optional[Callable[[], None]] = None
 
@@ -205,6 +219,13 @@ class ZabPeer:
     @property
     def is_leader(self) -> bool:
         return self._alive and self.role is Role.LEADER and self._established
+
+    @property
+    def _learners(self) -> List[str]:
+        """Everyone a leader streams to: voting followers + observers."""
+        if not self.observer_ids:
+            return self.peer_ids
+        return self.peer_ids + self.observer_ids
 
     @property
     def last_zxid(self) -> int:
@@ -293,7 +314,7 @@ class ZabPeer:
             msg: object = Proposal(self.epoch, batch[0])
         else:
             msg = BatchProposal(self.epoch, batch, self.committed_zxid)
-        for peer in self.peer_ids:
+        for peer in self._learners:
             self._send(peer, msg)
 
     # -- message dispatch ------------------------------------------------------
@@ -346,7 +367,8 @@ class ZabPeer:
             self._send(src, SyncRequest(self.last_zxid))
             return
         self.log.append(msg.record)
-        self._send(src, Ack(self.epoch, msg.record.zxid))
+        if not self.is_observer:
+            self._send(src, Ack(self.epoch, msg.record.zxid))
 
     def _on_batch_proposal(self, src: str, msg: BatchProposal) -> None:
         if msg.epoch < self.epoch or self.role is not Role.FOLLOWER:
@@ -369,7 +391,7 @@ class ZabPeer:
                 break
             self.log.append(record)
             appended = True
-        if appended:
+        if appended and not self.is_observer:
             # One cumulative ack for the whole appended run.
             self._send(src, Ack(self.epoch, self.last_zxid))
         # Piggybacked commit watermark (capped at what we actually hold).
@@ -381,6 +403,8 @@ class ZabPeer:
     def _on_ack(self, src: str, msg: Ack) -> None:
         if self.role is not Role.LEADER or msg.epoch != self.epoch:
             return
+        if src in self._observer_set:
+            return  # observers never count toward the commit quorum
         if self._ack_update(src, msg.zxid):
             self._advance_commit()
 
@@ -411,7 +435,7 @@ class ZabPeer:
             return
         self.committed_zxid = candidate
         self._deliver_committed()
-        for peer in self.peer_ids:
+        for peer in self._learners:
             self._send(peer, Commit(self.epoch, candidate))
 
     def _on_commit(self, src: str, msg: Commit) -> None:
@@ -434,14 +458,14 @@ class ZabPeer:
         while self._alive:
             if self.is_leader:
                 beat = Heartbeat(self.epoch, self.node_id, self.committed_zxid)
-                for peer in self.peer_ids:
+                for peer in self._learners:
                     self._send(peer, beat)
             yield self.env.timeout(self.config.heartbeat_ms)
 
     def _failure_detector_loop(self):
         while self._alive:
             yield self.env.timeout(self.config.heartbeat_ms)
-            if self.role is Role.LEADER:
+            if self.role is Role.LEADER or self.is_observer:
                 continue
             silence = self.env.now - self._last_leader_contact
             if silence > self.config.election_timeout_ms and not self._election_pending:
@@ -458,15 +482,29 @@ class ZabPeer:
             self.role = Role.FOLLOWER
             self._send(src, SyncRequest(self.last_zxid))
         self._last_leader_contact = self.env.now
-        if (self.role is Role.FOLLOWER and src == self.leader_id
-                and msg.committed_zxid > self.committed_zxid):
+        if self.role is not Role.FOLLOWER or src != self.leader_id:
+            return
+        if msg.committed_zxid > self.committed_zxid:
             # Commit catch-up: only up to what we actually hold.
             self.committed_zxid = min(msg.committed_zxid, self.last_zxid)
             self._deliver_committed()
+        if msg.committed_zxid > self.last_zxid:
+            # The leader committed entries we never received (a healed
+            # partition with no follow-up proposal to trip the gap
+            # check). Ask for the missing suffix — this is what bounds
+            # how long a session-consistent read can stay parked at a
+            # lagging replica. Throttled so one resync is in flight per
+            # heartbeat interval, not one per heartbeat received.
+            now = self.env.now
+            if now - self._last_lag_sync >= self.config.heartbeat_ms:
+                self._last_lag_sync = now
+                self._send(src, SyncRequest(self.last_zxid))
 
     # -- election ------------------------------------------------------------
 
     def _start_election(self) -> None:
+        if self.is_observer:
+            return  # observers never vote; they wait for a new leader
         self.role = Role.LOOKING
         self._established = False
         self.leader_id = None
@@ -494,7 +532,7 @@ class ZabPeer:
         # Otherwise wait for the winner's NewLeader message.
 
     def _on_vote(self, src: str, msg: Vote) -> None:
-        if msg.term < self._term:
+        if self.is_observer or msg.term < self._term:
             return
         fresh_leader = (self.leader_id is not None
                         and (self.env.now - self._last_leader_contact)
@@ -537,7 +575,7 @@ class ZabPeer:
         self._pending_batch = []
         # Establishment syncs everyone from scratch: full log (prefix 0).
         sync = NewLeader(self.epoch, list(self.log), self.last_zxid)
-        for peer in self.peer_ids:
+        for peer in self._learners:
             self._send(peer, sync)
         if self.quorum == 1:  # degenerate single-node ensemble
             self._finish_establishment()
@@ -572,13 +610,16 @@ class ZabPeer:
         if msg.committed_zxid > self.committed_zxid:
             self.committed_zxid = msg.committed_zxid
         self._deliver_committed()
-        self._send(src, NewLeaderAck(self.epoch))
+        if not self.is_observer:
+            self._send(src, NewLeaderAck(self.epoch))
         if self.on_role_change:
             self.on_role_change()
 
     def _on_new_leader_ack(self, src: str, msg: NewLeaderAck) -> None:
         if self.role is not Role.LEADER or msg.epoch != self.epoch:
             return
+        if src in self._observer_set:
+            return  # observers never count toward establishment
         self._establish_acks.add(src)
         self._ack_update(src, self.last_zxid)
         if len(self._establish_acks) >= self.quorum and not self._established:
@@ -591,7 +632,7 @@ class ZabPeer:
         if self.last_zxid > self.committed_zxid:
             self.committed_zxid = self.last_zxid
         self._deliver_committed()
-        for peer in self.peer_ids:
+        for peer in self._learners:
             self._send(peer, Commit(self.epoch, self.committed_zxid))
         if self.on_role_change:
             self.on_role_change()

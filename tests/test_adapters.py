@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench import make_coords, make_ensemble, run_all
-from repro.core import OperationRequest
 from repro.depspace import ANY, Prefix
 from repro.depspace.protocol import (InOp, InpOp, OutOp, RdAllOp, RdOp,
                                      RdpOp, RenewOp, ReplaceOp)

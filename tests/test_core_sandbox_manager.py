@@ -6,7 +6,7 @@ from repro.core import (BudgetedState, BudgetExceededError, EventNotice,
                         ExtensionCrashedError, ExtensionManager,
                         ExtensionRejectedError, MemoryState,
                         NotAuthorizedError, OperationRequest, SandboxLimits,
-                        StepLimiter, UnknownExtensionError, compile_extension,
+                        UnknownExtensionError, compile_extension,
                         run_contained)
 
 COUNTER_EXT = '''
@@ -85,7 +85,6 @@ class Sneaky(Extension):
         return len("ok")
 '''
         ext = compile_extension(source)
-        import builtins
         module_globals = ext.handle_operation.__globals__
         assert "open" not in module_globals["__builtins__"]
         assert "__import__" not in module_globals["__builtins__"]

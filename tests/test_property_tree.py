@@ -1,6 +1,5 @@
 """Property-based tests: DataTree vs. a naive model, overlay equivalence."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.zk import DataTree, TreeOverlay, ZkError

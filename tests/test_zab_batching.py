@@ -8,8 +8,6 @@ entries exactly once, in zxid order, across leader crashes mid-batch
 and partition heals — the same guarantees the unbatched path gives.
 """
 
-import pytest
-
 from repro.sim import Environment, LatencyModel, Network
 from repro.zk.txn import SetDataTxn
 from repro.zk.zab import Role, ZabConfig, ZabPeer
