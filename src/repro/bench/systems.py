@@ -10,13 +10,16 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..depspace import DsEnsemble
+from ..depspace.bft import BftConfig
+from ..depspace.server import DsConfig
 from ..eds import EdsEnsemble
 from ..ezk import EzkEnsemble
 from ..recipes import CoordClient, DsCoordClient, ZkCoordClient
 from ..zk import ZkEnsemble
+from ..zk.server import ZkConfig
 
 __all__ = ["SYSTEMS", "EXTENSIBLE", "make_ensemble", "make_coords",
-           "run_all", "client_node_ids"]
+           "make_chaos_ensemble", "run_all", "client_node_ids"]
 
 SYSTEMS = ("zk", "ezk", "ds", "eds")
 EXTENSIBLE = frozenset({"ezk", "eds"})
@@ -36,6 +39,47 @@ def make_ensemble(kind: str, seed: int = 11, **kwargs):
         raise ValueError(f"unknown system {kind!r}")
     ensemble.start()
     return ensemble
+
+
+def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3):
+    """Ensemble + connected raw clients tuned for the chaos harness.
+
+    ZK-family ensembles run with ``local_reads`` and one observer so
+    fault schedules exercise the read-parking and observer-resync
+    machinery; sessions and leases are stretched to 8 s so a ≤2 s
+    fault window cannot expire a healthy-but-disconnected client (which
+    would turn network faults into spurious session churn the checkers
+    cannot distinguish from real violations). Clients connect before
+    this returns — the harness injects faults into running workloads,
+    not into bootstrap.
+    """
+    if kind in ("zk", "ezk"):
+        cls = ZkEnsemble if kind == "zk" else EzkEnsemble
+        ensemble = cls(n_replicas=3, seed=seed,
+                       config=ZkConfig(local_reads=True), n_observers=1)
+        ensemble.start()
+        raw = [ensemble.client(session_timeout_ms=8000.0)
+               for _ in range(n_clients)]
+
+        def connect_all():
+            for client in raw:
+                yield from client.connect()
+
+        proc = ensemble.env.process(connect_all())
+        ensemble.env.run(until=proc)
+    elif kind in ("ds", "eds"):
+        cls = DsEnsemble if kind == "ds" else EdsEnsemble
+        # Status gossip on: without PBFT's checkpoint stand-in a replica
+        # healed from a partition after the last client request never
+        # learns it missed a view (liveness, not figure-relevant).
+        ensemble = cls(f=1, seed=seed,
+                       config=DsConfig(lease_ms=8000.0,
+                                       bft=BftConfig(status_interval_ms=500.0)))
+        ensemble.start()
+        raw = [ensemble.client() for _ in range(n_clients)]
+    else:
+        raise ValueError(f"unknown system {kind!r}")
+    return ensemble, raw
 
 
 def make_coords(ensemble, kind: str, n: int,

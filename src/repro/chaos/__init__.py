@@ -1,0 +1,45 @@
+"""Deterministic fault-schedule harness + history checkers.
+
+The chaos harness closes the loop the benchmarks leave open: the
+paper's extensions claim the *same* coordination semantics as the
+traditional recipes, so this package injects seeded fault schedules
+(crashes, partitions, message drop/delay bursts) into running
+ensembles while recording every client operation, then checks the
+histories — Wing & Gong linearizability for small ones, linear-time
+recipe invariants for large ones. Every run is replayable from its
+``(system, recipe, seed)`` triple alone::
+
+    PYTHONPATH=src python -m repro.chaos --system ezk --recipe queue --seed 17
+"""
+
+from .checker import (CheckResult, CounterModel, RegisterModel,
+                      check_barrier_history, check_counter_history,
+                      check_election_history, check_linearizable,
+                      check_queue_history)
+from .explorer import RECIPES, ChaosRun, repro_line, run_chaos
+from .history import History, HistoryEvent, OpRecord, RecordingCoord
+from .nemesis import Nemesis
+from .schedule import FaultAction, Schedule, random_schedule
+
+__all__ = [
+    "CheckResult",
+    "RegisterModel",
+    "CounterModel",
+    "check_linearizable",
+    "check_counter_history",
+    "check_queue_history",
+    "check_barrier_history",
+    "check_election_history",
+    "History",
+    "HistoryEvent",
+    "OpRecord",
+    "RecordingCoord",
+    "Nemesis",
+    "FaultAction",
+    "Schedule",
+    "random_schedule",
+    "RECIPES",
+    "ChaosRun",
+    "run_chaos",
+    "repro_line",
+]

@@ -1,0 +1,50 @@
+"""Replay one chaos run from the command line.
+
+The repro line printed by a failing test lands here::
+
+    PYTHONPATH=src python -m repro.chaos --system ezk --recipe queue --seed 17
+
+Exit status 0 when the checker passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..bench.systems import SYSTEMS
+from .explorer import RECIPES, run_chaos
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.chaos", description="replay one seeded chaos run")
+    parser.add_argument("--system", required=True, choices=SYSTEMS)
+    parser.add_argument("--recipe", required=True, choices=RECIPES)
+    parser.add_argument("--seed", required=True, type=int)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--ops", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--history", action="store_true",
+                        help="dump the full canonical history")
+    args = parser.parse_args(argv)
+
+    run = run_chaos(args.system, args.recipe, args.seed,
+                    n_clients=args.clients, ops_per_client=args.ops,
+                    rounds=args.rounds)
+    print(f"# {run.repro}")
+    print("-- schedule --")
+    print(run.schedule.describe())
+    print("-- nemesis --")
+    for line in run.nemesis_log:
+        print(line)
+    if args.history:
+        print("-- history --")
+        print(run.history.canonical())
+    print("-- verdict --")
+    print("PASS" if run.ok else f"FAIL: {run.result.reason}")
+    return 0 if run.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""History checkers: Wing & Gong linearizability + recipe invariants.
+
+Two modes, as the harness's contract demands:
+
+* :func:`check_linearizable` — exhaustive Wing & Gong search with
+  memoisation, practical for the small register/counter histories the
+  unit tests produce (tens of operations). In-doubt operations (failed
+  or still pending when the run ended) are treated as *maybe* ops: the
+  search may linearize them anywhere after their invocation or drop
+  them entirely, because a lost reply does not reveal whether the
+  update took effect.
+
+* Cheap recipe invariants — linear-time checks sound for arbitrarily
+  large histories: counters never lose or double-apply confirmed
+  increments, queues never duplicate or lose confirmed elements,
+  barriers never release early, elections never overlap two confirmed
+  reigns. Each is conservative: a reported violation is a real
+  violation; in-doubt operations widen the allowed envelope instead of
+  producing false alarms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, List, Optional, Tuple
+
+from .history import OpRecord
+
+__all__ = [
+    "CheckResult",
+    "RegisterModel",
+    "CounterModel",
+    "check_linearizable",
+    "check_counter_history",
+    "check_queue_history",
+    "check_barrier_history",
+    "check_election_history",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    ok: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+# ---------------------------------------------------------------------------
+# Wing & Gong linearizability
+# ---------------------------------------------------------------------------
+
+
+class RegisterModel:
+    """Sequential read/write register. State: last written value."""
+
+    initial: Any = None
+
+    def apply(self, state: Any, op: OpRecord) -> Tuple[bool, Any]:
+        """Returns (result-consistent?, next state)."""
+        if op.op == "write":
+            return True, op.arg
+        if op.op == "read":
+            return op.result == state, state
+        raise ValueError(f"register model: unknown op {op.op!r}")
+
+    def mutates(self, op: OpRecord) -> bool:
+        return op.op == "write"
+
+
+class CounterModel:
+    """Sequential counter. ``inc`` returns the post-increment value."""
+
+    initial: int = 0
+
+    def apply(self, state: int, op: OpRecord) -> Tuple[bool, int]:
+        if op.op == "inc":
+            return op.result == state + 1, state + 1
+        if op.op == "read":
+            return op.result == state, state
+        raise ValueError(f"counter model: unknown op {op.op!r}")
+
+    def mutates(self, op: OpRecord) -> bool:
+        return op.op == "inc"
+
+
+def check_linearizable(ops: List[OpRecord], model) -> CheckResult:
+    """Wing & Gong search: is there a legal sequential order of ``ops``?
+
+    Completed operations must appear exactly once, respect real-time
+    order, and match their recorded results. In-doubt updates may be
+    placed (result unconstrained) or dropped; in-doubt reads are
+    dropped outright (they constrain nothing).
+    """
+    completed = [o for o in ops if o.ok]
+    maybes = [o for o in ops if o.in_doubt and model.mutates(o)]
+    # A pending op's invocation still orders it: it cannot take effect
+    # before it was invoked. Completed ops cannot linearize after the
+    # return of an op that returned before their invocation.
+    seen = set()
+
+    def min_return(remaining: Tuple[int, ...]) -> float:
+        floor = float("inf")
+        for i in remaining:
+            r = completed[i].return_time
+            if r is not None and r < floor:
+                floor = r
+        return floor
+
+    def search(remaining: Tuple[int, ...], maybe_left: Tuple[int, ...],
+               state: Any) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, maybe_left, repr(state))
+        if key in seen:
+            return False
+        floor = min_return(remaining)
+        for i in remaining:
+            op = completed[i]
+            if op.invoke_time > floor:
+                continue        # someone returned before this was invoked
+            consistent, nxt = model.apply(state, op)
+            if consistent:
+                rest = tuple(j for j in remaining if j != i)
+                if search(rest, maybe_left, nxt):
+                    return True
+        for i in maybe_left:
+            op = maybes[i]
+            if op.invoke_time > floor:
+                continue
+            _, nxt = model.apply(state, op)   # result unconstrained
+            rest = tuple(j for j in maybe_left if j != i)
+            if search(remaining, rest, nxt):
+                return True
+        seen.add(key)
+        return False
+
+    if search(tuple(range(len(completed))),
+              tuple(range(len(maybes))), model.initial):
+        return CheckResult(True)
+    return CheckResult(
+        False, f"no linearization of {len(completed)} completed ops "
+               f"(+{len(maybes)} in-doubt updates)")
+
+
+# ---------------------------------------------------------------------------
+# Recipe invariants
+# ---------------------------------------------------------------------------
+
+
+def _partition(ops: List[OpRecord], name: str
+               ) -> Tuple[List[OpRecord], List[OpRecord]]:
+    """(confirmed, in-doubt) recipe-level ops called ``name``."""
+    sel = [o for o in ops if o.op == name]
+    return [o for o in sel if o.ok], [o for o in sel if o.in_doubt]
+
+
+def check_counter_history(ops: List[OpRecord]) -> CheckResult:
+    """Confirmed increments are applied exactly once, never lost.
+
+    Marks consumed: ``inc`` (result = post-increment value) and
+    ``final-read`` (result = counter value after quiescence). Sound for
+    any history size: a counter only grows, every confirmed inc must
+    have a distinct result, and the final value must cover exactly the
+    confirmed incs plus at most the in-doubt ones.
+    """
+    incs, doubt = _partition(ops, "inc")
+    results = [o.result for o in incs]
+    if any(not isinstance(r, int) for r in results):
+        return CheckResult(False, f"non-integer inc result in {results!r}")
+    if len(set(results)) != len(results):
+        dupes = sorted({r for r in results if results.count(r) > 1})
+        return CheckResult(False, f"duplicate inc results {dupes} "
+                                  "(same value handed to two clients)")
+    per_proc: dict = {}
+    for o in incs:
+        prev = per_proc.get(o.proc)
+        if prev is not None and o.result <= prev:
+            return CheckResult(
+                False, f"non-monotonic incs at {o.proc}: {o.result} "
+                       f"after {prev}")
+        per_proc[o.proc] = o.result
+    finals = [o for o in ops if o.op == "final-read" and o.ok]
+    if not finals:
+        return CheckResult(False, "no final-read in counter history")
+    final = finals[-1].result
+    lo, hi = len(incs), len(incs) + len(doubt)
+    if not (lo <= final <= hi):
+        return CheckResult(
+            False, f"final counter {final} outside [{lo}, {hi}] "
+                   f"({len(incs)} confirmed + {len(doubt)} in-doubt incs)")
+    if results and max(results) > final:
+        return CheckResult(
+            False, f"inc returned {max(results)} but final value is {final} "
+                   "(counter went backwards)")
+    return CheckResult(True)
+
+
+def check_queue_history(ops: List[OpRecord]) -> CheckResult:
+    """No element is duplicated, invented, or lost.
+
+    Marks consumed: ``add`` (arg = payload bytes), ``remove`` (result =
+    payload bytes or None for empty), and ``drain-remove`` (the
+    quiescent drain phase). Payloads are unique per *logical* add, but
+    an in-doubt add attempt may have landed before its retry did, so a
+    payload may legally be dequeued once per add that *may* have taken
+    effect: confirmed + in-doubt adds of that payload.
+    """
+    adds, doubt_adds = _partition(ops, "add")
+    removes_ok: List[OpRecord] = []
+    doubt_removes = 0
+    for name in ("remove", "drain-remove"):
+        ok, doubt = _partition(ops, name)
+        removes_ok.extend(ok)
+        doubt_removes += len(doubt)
+    confirmed = Counter(o.arg for o in adds)
+    maybe = Counter(o.arg for o in doubt_adds)
+    removed = Counter(o.result for o in removes_ok if o.result is not None)
+    invented = sorted(p for p in removed
+                      if not confirmed[p] and not maybe[p])
+    if invented:
+        return CheckResult(False, f"dequeued element(s) never added: "
+                                  f"{invented}")
+    over = sorted(p for p, n in removed.items()
+                  if n > confirmed[p] + maybe[p])
+    if over:
+        return CheckResult(
+            False, f"element(s) dequeued more times than they could "
+                   f"have been enqueued: {over}")
+    # After the drain phase the queue was observed empty, so every
+    # confirmed add must have been dequeued — except elements whose
+    # remove reply was lost (an in-doubt remove may have consumed one).
+    lost = sorted(p for p, n in confirmed.items() if removed[p] < n)
+    if len(lost) > doubt_removes:
+        return CheckResult(
+            False, f"element(s) lost: {lost} "
+                   f"(only {doubt_removes} in-doubt removes could "
+                   "account for them)")
+    return CheckResult(True)
+
+
+def check_barrier_history(ops: List[OpRecord],
+                          threshold: int) -> CheckResult:
+    """Nobody passes a barrier round before ``threshold`` arrivals.
+
+    Marks consumed: ``enter`` with key = round id. For each round, a
+    completion is legal only once ``threshold`` clients have *invoked*
+    enter: the earliest completion must not precede the threshold-th
+    earliest invocation.
+    """
+    rounds: dict = {}
+    for o in ops:
+        if o.op == "enter":
+            rounds.setdefault(o.key, []).append(o)
+    for round_id, entries in sorted(rounds.items()):
+        invokes = sorted(o.invoke_time for o in entries)
+        if len(invokes) < threshold:
+            # Not enough arrivals recorded: then nobody may have passed.
+            passed = [o for o in entries if o.ok]
+            if passed:
+                return CheckResult(
+                    False, f"round {round_id}: {len(passed)} passed with "
+                           f"only {len(invokes)} arrivals "
+                           f"(threshold {threshold})")
+            continue
+        gate = invokes[threshold - 1]
+        for o in entries:
+            if o.ok and o.return_time is not None and o.return_time < gate:
+                return CheckResult(
+                    False, f"round {round_id}: {o.proc} passed at "
+                           f"{o.return_time:.3f} before the {threshold}-th "
+                           f"arrival at {gate:.3f}")
+    return CheckResult(True)
+
+
+def check_election_history(ops: List[OpRecord]) -> CheckResult:
+    """At most one confirmed leader at any moment.
+
+    Marks consumed: ``lead`` (become_leader returned ⇒ reign start) and
+    ``abdicate`` (invocation ⇒ reign end; once abdication is *issued*
+    the client no longer acts as leader, so using the invoke time is
+    the conservative end point — it can only shorten the reign).
+    A client whose abdication never completed holds its reign to the
+    end of the history.
+    """
+    reigns: List[Tuple[float, float, str]] = []
+    by_proc: dict = {}
+    for o in ops:
+        if o.op in ("lead", "abdicate"):
+            by_proc.setdefault(o.proc, []).append(o)
+    for proc, entries in by_proc.items():
+        start: Optional[float] = None
+        for o in entries:
+            if o.op == "lead" and o.ok:
+                start = o.return_time
+            elif o.op == "abdicate" and start is not None:
+                reigns.append((start, o.invoke_time, proc))
+                start = None
+        if start is not None:
+            reigns.append((start, float("inf"), proc))
+    reigns.sort()
+    for (s1, e1, p1), (s2, e2, p2) in zip(reigns, reigns[1:]):
+        if s2 < e1:
+            return CheckResult(
+                False, f"overlapping reigns: {p1} [{s1:.3f}, {e1:.3f}) "
+                       f"and {p2} [{s2:.3f}, {e2:.3f})")
+    return CheckResult(True)
+
+
+#: recipe name -> checker over recipe-level marks (barrier needs the
+#: threshold bound at call time; see :mod:`repro.chaos.explorer`).
+CHECKERS: dict = {
+    "counter": check_counter_history,
+    "queue": check_queue_history,
+    "barrier": check_barrier_history,
+    "election": check_election_history,
+}

@@ -34,6 +34,12 @@ __all__ = ["BftConfig", "BftPeer", "BftRequest"]
 class BftConfig:
     request_timeout_ms: float = 400.0
     sweep_interval_ms: float = 100.0
+    #: period of the (view, last-executed) gossip — PBFT's checkpoint
+    #: stand-in, needed for liveness under partitions (an idle healed
+    #: replica never otherwise learns it is behind). 0 disables it;
+    #: off by default so benign-network figure metrics stay
+    #: bit-identical to the seed (the chaos ensembles turn it on).
+    status_interval_ms: float = 0.0
 
 
 # -- messages -----------------------------------------------------------------
@@ -104,6 +110,15 @@ class NewView:
 
 
 @dataclass
+class Status:
+    """Periodic (view, last-executed) gossip — the stand-in for PBFT's
+    checkpoint messages. Without it a replica healed from a partition
+    after the last client request never learns it missed anything."""
+    view: int
+    exec_seq: int
+
+
+@dataclass
 class _Slot:
     view: int
     request: Optional[BftRequest] = None
@@ -145,6 +160,15 @@ class BftPeer:
         self._view_votes: Dict[int, Dict[str, int]] = {}
         #: server hook: we are missing executions up to seq; fetch state.
         self.on_gap: Optional[Callable[[int], None]] = None
+        #: highest sequence number seen in any protocol message — runs
+        #: ahead of ``_exec_seq`` while we are missing slots for good.
+        self._max_seen_seq = 0
+        #: ``_exec_seq`` at the previous stall check (gap detection).
+        self._stall_exec_seq = -1
+        self._last_status = 0.0
+        #: False while ``_exec_seq`` overstates the actually-applied
+        #: state (a view-change horizon skip, healed by state transfer).
+        self.exec_truthful = True
         self._alive = True
         env.process(self._timeout_sweep())
 
@@ -200,6 +224,15 @@ class BftPeer:
         """Process an ordering-protocol message; False if not ours."""
         if not self._alive:
             return True
+        if isinstance(msg, (PrePrepare, Prepare, Commit)):
+            self._note_view(msg.view)
+            if msg.seq > self._max_seen_seq:
+                self._max_seen_seq = msg.seq
+        if isinstance(msg, Status):
+            self._note_view(msg.view)
+            if msg.exec_seq > self._max_seen_seq:
+                self._max_seen_seq = msg.exec_seq
+            return True
         if isinstance(msg, PrePrepare):
             self._on_preprepare(src, msg)
         elif isinstance(msg, Prepare):
@@ -213,6 +246,26 @@ class BftPeer:
         else:
             return False
         return True
+
+    def _note_view(self, view: int) -> None:
+        """Catch up to a view we missed the change for.
+
+        A correct replica only emits protocol traffic in a view it has
+        installed (2f + 1 voted for it), so the view number itself is
+        safe to adopt from evidence. Having missed the view change
+        means we were crashed or cut off while it happened — we have
+        almost certainly missed executions too, so hand off to server
+        state transfer rather than waiting for a gap that in-order
+        re-delivery will never fill.
+        """
+        if view <= self.view:
+            return
+        self.view = view
+        self._slots = {}
+        self._proposed_ids = set()
+        self._next_seq = self._exec_seq
+        if self.on_gap is not None:
+            self.on_gap(self._exec_seq)
 
     def _slot(self, seq: int) -> Optional[_Slot]:
         if seq <= self._exec_seq:
@@ -286,6 +339,15 @@ class BftPeer:
         self._execute_ready()
 
     def _execute_ready(self) -> None:
+        if not self.exec_truthful:
+            # Execution freezes during state transfer: running committed
+            # slots on top of an incomplete prefix would corrupt the
+            # local state, emit junk replies that count toward client
+            # reply quorums, and inflate the exec_seq this replica
+            # reports in view-change votes (dragging truthful peers
+            # into skipping to a sequence nobody actually reached).
+            # The snapshot install covers these slots and unfreezes.
+            return
         while True:
             slot = self._slots.get(self._exec_seq + 1)
             if slot is None or not slot.committed or slot.request is None:
@@ -318,6 +380,25 @@ class BftPeer:
                 for rid in stuck:
                     request, _ = self._pending[rid]
                     self._pending[rid] = (request, now)
+            # Gap detection: protocol traffic runs ahead of our execution
+            # point and two consecutive sweeps made zero progress. The
+            # missing slots were shipped while we were cut off and will
+            # never be re-sent (peers delete executed slots), so only a
+            # state transfer can unstick us.
+            if self._max_seen_seq > self._exec_seq:
+                if (self._exec_seq == self._stall_exec_seq
+                        and self.on_gap is not None):
+                    self.on_gap(self._exec_seq)
+                self._stall_exec_seq = self._exec_seq
+            else:
+                self._stall_exec_seq = -1
+            if (self.config.status_interval_ms > 0 and now
+                    - self._last_status >= self.config.status_interval_ms):
+                self._last_status = now
+                status = Status(self.view, self._exec_seq)
+                for replica in self.replica_ids:
+                    if replica != self.node_id:
+                        self._send(replica, status)
 
     def _vote_view_change(self, new_view: int) -> None:
         if new_view <= self.view:
@@ -368,6 +449,7 @@ class BftPeer:
     def _skip_to(self, seq: int) -> None:
         """We missed executions up to ``seq``; defer to server state sync."""
         self._exec_seq = seq
+        self.exec_truthful = False
         if self.on_gap is not None:
             self.on_gap(seq)
 

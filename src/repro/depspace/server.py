@@ -131,6 +131,8 @@ class DsReplica:
         #: fault-injection: corrupt every reply (Byzantine behaviour).
         self.byzantine = False
         self._alive = True
+        self._state_synced = True
+        self._resync_generation = 0
         net.register(node_id, self.handle_message)
 
     # -- administration ----------------------------------------------------
@@ -157,8 +159,31 @@ class DsReplica:
         self._alive = True
         self.net.recover(self.node_id)
         self.bft.recover()
-        self.net.send(self.node_id, self._any_peer(),
-                      StateRequest(self.bft._exec_seq))
+        self._resync_generation += 1
+        self.env.process(self._resync_loop(self._resync_generation))
+
+    def _resync_loop(self, generation: int):
+        """Retransmit StateRequest round-robin until a peer answers.
+
+        A single-shot probe to a fixed peer is lost forever when that
+        peer is itself crashed or partitioned away — the recovering
+        replica would then stall behind the pipeline (missed slots
+        never execute) while still counting as "live" for consistency
+        checks. Rotating the target and retrying until a snapshot
+        lands bounds the stall at however long the fault window keeps
+        every eligible donor unreachable; the loop must not give up
+        earlier, because an unsynced replica neither executes nor
+        serves state.
+        """
+        peers = [p for p in self.replica_ids if p != self.node_id]
+        self._state_synced = False
+        attempt = 0
+        while (self._alive and not self._state_synced
+               and generation == self._resync_generation):
+            self.net.send(self.node_id, peers[attempt % len(peers)],
+                          StateRequest(self.bft._exec_seq))
+            attempt += 1
+            yield self.env.timeout(self.config.bft.request_timeout_ms)
 
     def _any_peer(self) -> str:
         return next(p for p in self.replica_ids if p != self.node_id)
@@ -428,13 +453,35 @@ class DsReplica:
     # -- state transfer -----------------------------------------------------------
 
     def _on_gap(self, seq: int) -> None:
-        self.net.send(self.node_id, self._any_peer(), StateRequest(seq))
+        if not self._state_synced:
+            return  # a resync loop is already chasing a snapshot
+        self._state_synced = False
+        self._resync_generation += 1
+        self.env.process(self._resync_loop(self._resync_generation))
 
     def _on_state_request(self, src: str, msg: StateRequest) -> None:
+        if not self.bft.exec_truthful:
+            # A view-change horizon skip advances exec_seq *before* the
+            # matching snapshot arrives, so right now our spaces and
+            # executed-ids lag the sequence number we would advertise.
+            # Serving that snapshot poisons the receiver: it trusts
+            # upto_seq, erases its own execution records, and later
+            # re-executes requests behind the same client's reads. The
+            # horizon maximum itself never skips (and crashed replicas
+            # keep their state), so a truthful donor always exists.
+            return
         snapshot = {
             "spaces": {name: sp.snapshot() for name, sp in self.spaces.items()},
             "exec_seq": self.bft._exec_seq,
             "executed_ids": set(self.bft._executed_ids),
+            "view": self.bft.view,
+            # Blocked waiters are part of replicated state: they are
+            # registered by ordered ops and consumed deterministically
+            # by later inserts. A receiver that misses them would skip
+            # the take a wake performs and diverge on the next insert.
+            "waiters": {name: list(ws)
+                        for name, ws in self._waiters.items() if ws},
+            "reply_cache": dict(self._reply_cache),
         }
         fingerprint = self.fingerprint()
         self.net.send(self.node_id, src,
@@ -442,12 +489,44 @@ class DsReplica:
 
     def _on_state_response(self, src: str, msg: StateResponse) -> None:
         if msg.upto_seq < self.bft._exec_seq:
+            # The donor is behind us. If our own state is sound we are
+            # provably not the replica that needs a snapshot — stop
+            # polling (stall detection restarts the chase if commits
+            # later show we fell behind). If we skipped, keep rotating
+            # until a donor at or past our skip target answers.
+            if self.bft.exec_truthful:
+                self._state_synced = True
             return
+        self._state_synced = True
         for name, snap in msg.snapshot["spaces"].items():
             self.space(name).restore(snap)
-        self.bft._exec_seq = msg.snapshot["exec_seq"]
-        self.bft._executed_ids = set(msg.snapshot["executed_ids"])
-        self.bft._next_seq = max(self.bft._next_seq, self.bft._exec_seq)
+        self._waiters = {name: list(ws)
+                         for name, ws in msg.snapshot.get("waiters",
+                                                          {}).items()}
+        self._reply_cache.update(msg.snapshot.get("reply_cache", {}))
+        bft = self.bft
+        bft._exec_seq = msg.snapshot["exec_seq"]
+        bft._executed_ids = set(msg.snapshot["executed_ids"])
+        bft._next_seq = max(bft._next_seq, bft._exec_seq)
+        donor_view = msg.snapshot.get("view", 0)
+        if donor_view > bft.view:
+            bft.view = donor_view
+            bft._slots = {}
+            bft._proposed_ids = set()
+            bft._next_seq = bft._exec_seq
+        # Requests the donor already executed must stop looking "stuck"
+        # (they would otherwise drive view-change votes forever).
+        for rid in list(bft._pending):
+            if rid in bft._executed_ids:
+                del bft._pending[rid]
+        bft._stall_exec_seq = -1
+        # The installed snapshot matches exec_seq again by definition;
+        # drop slots it already covers and run any buffered committed
+        # slots that execution skipped while it was frozen.
+        bft.exec_truthful = True
+        bft._slots = {s: sl for s, sl in bft._slots.items()
+                      if s > bft._exec_seq}
+        bft._execute_ready()
         if self.on_state_installed is not None:
             self.on_state_installed(self)
 

@@ -26,8 +26,8 @@ from ..core import (EventNotice, ExtensionError, ExtensionManager,
                     OperationRequest, SandboxLimits, VerifierConfig)
 from ..depspace.bft import BftRequest
 from ..depspace.policy import PolicyViolationError
-from ..depspace.protocol import (DsOp, InOp, InpOp, OutOp, RdAllOp, RdOp,
-                                 RdpOp, ReplaceOp)
+from ..depspace.protocol import (CasOp, DsOp, InOp, InpOp, OutOp, RdAllOp,
+                                 RdOp, RdpOp, ReplaceOp)
 from ..depspace.server import BLOCKED, DsEvent, DsReplica, Waiter
 from ..depspace.tuples import ANY, Prefix, _Any
 from .state_proxy import DsDirectState
@@ -52,6 +52,14 @@ def describe_ds_op(op: DsOp, client_id: str) -> Optional[OperationRequest]:
         return OperationRequest("block", op.template[0], client_id)
     if isinstance(op, OutOp) and len(op.entry) == 2 and \
             isinstance(op.entry[0], str):
+        return OperationRequest("create", op.entry[0], client_id,
+                                op.entry[1] if isinstance(op.entry[1], bytes)
+                                else b"")
+    # The adapter realizes the object model's duplicate-rejecting create
+    # as a name-unique conditional insert (cas) — same object operation.
+    if isinstance(op, CasOp) and len(op.template) == 2 and \
+            isinstance(op.template[0], str) and _is_any(op.template[1]) and \
+            len(op.entry) == 2 and op.entry[0] == op.template[0]:
         return OperationRequest("create", op.entry[0], client_id,
                                 op.entry[1] if isinstance(op.entry[1], bytes)
                                 else b"")

@@ -3,7 +3,10 @@
 ====================  =====================================================
 abstract              DepSpace realization
 ====================  =====================================================
-create(o)             out(<o, data>)
+create(o)             cas(<o, *>, <o, data>)  — out() would insert a
+                      duplicate tuple when o exists; the object model
+                      requires name uniqueness, which DepSpace provides
+                      via its conditional-insert cas
 delete(o)             inp(<o, *>)
 read(o)               rdp(<o, *>)
 update(o, c)          replace(<o, *>, <o, c>)
@@ -21,6 +24,7 @@ from __future__ import annotations
 from typing import List
 
 from ..core.api import ObjectRecord
+from ..core.errors import ObjectExistsError
 from ..depspace.client import DsClient
 from ..depspace.tuples import ANY, Prefix
 from .coordination import CoordClient
@@ -41,7 +45,17 @@ class DsCoordClient(CoordClient):
         return self.ds.client_id
 
     def create(self, object_id: str, data: bytes = b""):
-        yield from self.ds.out(object_id, data)
+        # Conditional insert: a plain out() would happily add a second
+        # <o, ...> tuple (tuple spaces have no key uniqueness), after
+        # which every per-object operation picks an arbitrary copy —
+        # e.g. three clients racing the counter's setup would each
+        # advance a private counter tuple.
+        inserted = yield from self.ds.cas((object_id, ANY),
+                                          (object_id, data))
+        if not isinstance(inserted, bool):
+            return inserted  # an operation extension consumed the create
+        if not inserted:
+            raise ObjectExistsError(object_id)
         return object_id
 
     def delete(self, object_id: str):

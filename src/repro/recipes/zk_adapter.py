@@ -119,8 +119,14 @@ class ZkCoordClient(CoordClient):
             if stat is None:
                 self.zk.discard_waiter(object_id, waiter)
                 return
-            notification = yield waiter
-            if notification.event_type == "NODE_DELETED":
+            # Re-poll at a slow cadence: the deletion notification is
+            # lost for good if it was raised while our replica was
+            # crashed or cut off (the outer loop re-checks and re-arms).
+            notification = yield from self.zk.await_notification(
+                object_id, waiter)
+            self.zk.discard_waiter(object_id, waiter)
+            if notification is not None \
+                    and notification.event_type == "NODE_DELETED":
                 return
 
     def register_extension(self, name: str, source: str):

@@ -11,7 +11,7 @@ from .environment import Environment, Infeasible
 from .events import (AllOf, AnyOf, Callback, Event, Interrupted, Process,
                      Timeout)
 from .network import (MESSAGE_HEADER_BYTES, LatencyModel, Network,
-                      estimate_size)
+                      TrafficRule, estimate_size)
 from .resources import FifoResource
 from .stats import ExperimentMetrics, IntervalThroughput, LatencyRecorder, summarize
 
@@ -27,6 +27,7 @@ __all__ = [
     "AllOf",
     "Network",
     "LatencyModel",
+    "TrafficRule",
     "estimate_size",
     "MESSAGE_HEADER_BYTES",
     "FifoResource",

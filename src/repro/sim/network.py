@@ -23,7 +23,8 @@ from typing import Any, Callable, Dict, Iterable, Optional
 
 from .environment import Environment
 
-__all__ = ["LatencyModel", "Network", "estimate_size", "MESSAGE_HEADER_BYTES"]
+__all__ = ["LatencyModel", "Network", "TrafficRule", "estimate_size",
+           "MESSAGE_HEADER_BYTES"]
 
 #: Fixed per-message framing overhead (Ethernet + IP + TCP headers, rounded).
 MESSAGE_HEADER_BYTES = 66
@@ -155,6 +156,50 @@ def estimate_size(obj: Any) -> int:
 
 
 @dataclasses.dataclass
+class TrafficRule:
+    """A targeted drop or delay rule for in-flight messages.
+
+    Matches a message when every present filter matches: ``msg_types``
+    (payload class names; None = any type), ``src`` and ``dst`` (a node
+    id or a set of node ids; None = any node). A ``drop`` rule discards
+    matches with ``probability``; a ``delay`` rule adds ``extra_ms`` to
+    their one-way latency. Rules model the chaos harness's
+    message-targeted faults (e.g. "lose every Commit to zk2 for
+    800 ms") without touching the partition machinery.
+    """
+
+    kind: str                                    # "drop" | "delay"
+    msg_types: Optional[frozenset] = None        # payload class names
+    src: Optional[Any] = None                    # node id or set of ids
+    dst: Optional[Any] = None
+    probability: float = 1.0                     # drop rules
+    extra_ms: float = 0.0                        # delay rules
+
+    def matches(self, src: str, dst: str, msg: Any) -> bool:
+        if self.src is not None and not _node_match(self.src, src):
+            return False
+        if self.dst is not None and not _node_match(self.dst, dst):
+            return False
+        if (self.msg_types is not None
+                and msg.__class__.__name__ not in self.msg_types):
+            return False
+        return True
+
+
+def _node_match(selector: Any, node: str) -> bool:
+    if isinstance(selector, (set, frozenset, tuple, list)):
+        return node in selector
+    return selector == node
+
+
+def _type_names(msg_types) -> Optional[frozenset]:
+    if msg_types is None:
+        return None
+    return frozenset(t if isinstance(t, str) else t.__name__
+                     for t in msg_types)
+
+
+@dataclasses.dataclass
 class LatencyModel:
     """One-way message latency: ``base + size/bandwidth + jitter``.
 
@@ -223,7 +268,12 @@ class Network:
         self.bytes_received: Dict[str, int] = defaultdict(int)
         self._crashed: set[str] = set()
         self._partitions: set[frozenset[str]] = set()
+        #: asymmetric partitions: (src, dst) pairs blocked one-way only.
+        self._oneway: set[tuple[str, str]] = set()
         self.drop_probability: float = 0.0
+        #: targeted drop/delay rules, keyed by the id remove_rule takes.
+        self._rules: Dict[int, TrafficRule] = {}
+        self._next_rule_id = 0
 
     # -- membership ----------------------------------------------------------
 
@@ -255,18 +305,77 @@ class Network:
             for b in group_b:
                 self._partitions.add(frozenset((a, b)))
 
-    def heal(self) -> None:
-        """Remove every partition."""
-        self._partitions.clear()
+    def partition_oneway(self, srcs: Iterable[str],
+                         dsts: Iterable[str]) -> None:
+        """Block traffic from ``srcs`` to ``dsts`` only (asymmetric).
 
-    def _blocked(self, src: str, dst: str) -> bool:
+        The reverse direction stays up — the classic half-open link
+        where a follower hears the leader but its acks never arrive.
+        """
+        for a in srcs:
+            for b in dsts:
+                self._oneway.add((a, b))
+
+    def heal(self) -> None:
+        """Remove every partition (symmetric and one-way)."""
+        self._partitions.clear()
+        self._oneway.clear()
+
+    def add_drop_rule(self, probability: float = 1.0,
+                      msg_types: Optional[Iterable] = None,
+                      src: Optional[Any] = None,
+                      dst: Optional[Any] = None) -> int:
+        """Drop matching messages with ``probability``; returns a rule id.
+
+        ``msg_types`` accepts payload classes or class-name strings;
+        None matches every type. Drops draw from the network RNG, so a
+        run with fixed seeds replays the same losses.
+        """
+        return self._add_rule(TrafficRule(
+            "drop", _type_names(msg_types), src, dst,
+            probability=probability))
+
+    def add_delay_rule(self, extra_ms: float,
+                       msg_types: Optional[Iterable] = None,
+                       src: Optional[Any] = None,
+                       dst: Optional[Any] = None) -> int:
+        """Add ``extra_ms`` latency to matching messages; returns a rule id."""
+        return self._add_rule(TrafficRule(
+            "delay", _type_names(msg_types), src, dst, extra_ms=extra_ms))
+
+    def _add_rule(self, rule: TrafficRule) -> int:
+        self._next_rule_id += 1
+        self._rules[self._next_rule_id] = rule
+        return self._next_rule_id
+
+    def remove_rule(self, rule_id: int) -> None:
+        self._rules.pop(rule_id, None)
+
+    def clear_rules(self) -> None:
+        self._rules.clear()
+
+    def _blocked(self, src: str, dst: str, msg: Any) -> bool:
         if src in self._crashed or dst in self._crashed:
             return True
         if self._partitions and frozenset((src, dst)) in self._partitions:
             return True
+        if self._oneway and (src, dst) in self._oneway:
+            return True
         if self.drop_probability and self._rng.random() < self.drop_probability:
             return True
+        if self._rules:
+            for rule in self._rules.values():
+                if (rule.kind == "drop" and rule.matches(src, dst, msg)
+                        and self._rng.random() < rule.probability):
+                    return True
         return False
+
+    def _extra_delay(self, src: str, dst: str, msg: Any) -> float:
+        extra = 0.0
+        for rule in self._rules.values():
+            if rule.kind == "delay" and rule.matches(src, dst, msg):
+                extra += rule.extra_ms
+        return extra
 
     # -- transmission --------------------------------------------------------
 
@@ -284,8 +393,9 @@ class Network:
         self.bytes_sent[src] += size
         self.msgs_sent[src] += 1
         # Fast path: no faults injected, nothing can block the message.
-        if ((self._crashed or self._partitions or self.drop_probability)
-                and self._blocked(src, dst)):
+        faults = (self._crashed or self._partitions or self._oneway
+                  or self.drop_probability or self._rules)
+        if faults and self._blocked(src, dst, msg):
             return size
         handler = self._handlers.get(dst)
         if handler is None:
@@ -296,6 +406,8 @@ class Network:
         delay = lat.base_ms + size / lat.bandwidth_bytes_per_ms
         if lat.jitter_ms:
             delay += lat.jitter_ms * self._rng.random()
+        if self._rules:
+            delay += self._extra_delay(src, dst, msg)
         arrival = env._now + delay
         if self._fifo:
             # TCP-like channels: per-(src, dst) deliveries never reorder.

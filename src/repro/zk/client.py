@@ -34,6 +34,10 @@ _RETRY_CAP_MS = 800.0
 #: Sentinel delivered to a pending call when its timer expires first.
 _TIMED_OUT = object()
 
+#: How often a call with no deadline (a blocking primitive) probes its
+#: replica's liveness — the stand-in for TCP noticing a broken socket.
+_BLOCK_PROBE_MS = 500.0
+
 
 class ZkClient:
     """One client endpoint; owns a session once :meth:`connect` completes."""
@@ -137,7 +141,9 @@ class ZkClient:
                 # instead of a Timeout event plus an AnyOf condition per
                 # RPC (this is the client library's hottest line).
                 self.env.defer(timeout_ms, self._expire, xid, future)
-            reply = yield future
+                reply = yield future
+            else:
+                reply = yield from self._await_blocking(xid, future, request)
             if reply is _TIMED_OUT:
                 # Timed out: assume the replica is gone and fail over.
                 if attempts >= 2 * len(self.replicas) + 1:
@@ -162,6 +168,32 @@ class ZkClient:
                     continue
                 raise from_code(reply.error_code, reply.error_message)
             return reply.value
+
+    def _await_blocking(self, xid: int, future: Event, request) -> object:
+        """Wait on a no-deadline (blocking) call, watching the connection.
+
+        Blocking primitives may legitimately wait forever, so they carry
+        no per-call timer — but a request lost to a crashed replica or a
+        partition would hold the client hostage. Real clients notice the
+        broken TCP connection; here the stand-ins are a periodic
+        liveness probe of the connected replica (its death is reported
+        as a timeout so the caller's retry loop fails over) and a slow
+        retransmit of the same request — same xid, so the leader's
+        at-most-once guard absorbs the duplicate when the original did
+        get through, and re-executed reads are idempotent.
+        """
+        probes = 0
+        while True:
+            probe = self.env.timeout(_BLOCK_PROBE_MS)
+            yield self.env.any_of([future, probe])
+            if future.triggered:
+                return future.value
+            if self.net.is_crashed(self.replica):
+                self._pending.pop(xid, None)
+                return _TIMED_OUT
+            probes += 1
+            if probes % 2 == 0:
+                self.net.send(self.node_id, self.replica, request)
 
     def _failover(self) -> None:
         index = self.replicas.index(self.replica)
@@ -266,6 +298,23 @@ class ZkClient:
             if not waiters:
                 del self._event_waiters[path]
 
+    def await_notification(self, path: str, waiter: Event,
+                           repoll_ms: float = 2 * _BLOCK_PROBE_MS):
+        """Wait for ``waiter`` with a slow re-poll safety net.
+
+        A watch notification raised while this client's replica was
+        crashed or cut off is lost for good, so waiting on the watch
+        alone can hang forever. Returns the notification when it
+        arrives; returns None after ``repoll_ms`` so the caller can
+        re-check state and re-arm (real clients get the same effect by
+        re-registering watches on reconnect).
+        """
+        probe = self.env.timeout(repoll_ms)
+        yield self.env.any_of([waiter, probe])
+        if waiter.triggered:
+            return waiter.value
+        return None
+
     def block(self, path: str):
         """Wait until ``path`` exists (Table 2's ``block`` primitive).
 
@@ -273,13 +322,17 @@ class ZkClient:
         notification. When an operation extension consumes the exists
         call, the server defers the reply instead (same client code).
         """
-        waiter = self.wait_for_event(path)
-        result = yield from self._call(ExistsOp(path, watch=True),
-                                       timeout_ms=None)
-        if result is not None:
-            # Either the node already exists (Stat) or an extension
-            # unblocked us directly (('unblocked', path) payload).
+        while True:
+            waiter = self.wait_for_event(path)
+            result = yield from self._call(ExistsOp(path, watch=True),
+                                           timeout_ms=None)
+            if result is not None:
+                # Either the node already exists (Stat) or an extension
+                # unblocked us directly (('unblocked', path) payload).
+                self.discard_waiter(path, waiter)
+                return result
+            notification = yield from self.await_notification(path, waiter)
             self.discard_waiter(path, waiter)
-            return result
-        notification = yield waiter
-        return notification
+            if notification is not None:
+                return notification
+            # Lost-notification suspicion: loop to re-check and re-arm.

@@ -41,9 +41,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from bisect import bisect_right
+
 from ..sim import Environment, FifoResource, Network
 from .data_tree import DataTree, split_path
-from .errors import ConnectionLossError, ZkError, to_code
+from .errors import ConnectionLossError, ZkError, from_code, to_code
 from .overlay import TreeOverlay
 from .sessions import ConsistencyTracker, HeartbeatTracker, SessionTable
 from .txn import (ClientReply, ClientRequest, CloseSessionOp, CloseSessionTxn,
@@ -151,6 +153,13 @@ class ZkServer:
         #: reads waiting for this replica to catch up to a session's zxid:
         #: (required zxid, meta, op), drained as transactions apply.
         self._parked_reads: List[Tuple[int, RequestMeta, Op]] = []
+        #: leader-only: (client_node, xid) -> zxid for every update this
+        #: leadership has proposed, rebuilt from the log on election.
+        #: Clients reuse the xid when they retry after a timeout, so a
+        #: hit here means the update already travelled the pipeline —
+        #: re-executing it would double-apply non-idempotent extension
+        #: ops (see _prep).
+        self._proposed_xids: Dict[Tuple[str, int], int] = {}
 
         # An observer's Zab endpoint lists the voting replicas as its
         # peers but never votes or acks; a voter additionally knows the
@@ -391,6 +400,18 @@ class ZkServer:
         spec = self._spec_tree
         assert spec is not None, "established leader must have a spec tree"
 
+        # At-most-once guard: a timed-out client retries with the same
+        # xid via another replica, and a forward stranded in a partition
+        # can surface again after the heal. Whichever copy arrives
+        # second must not re-run the update (a second /queue/head
+        # extension call would silently eat another element); answer it
+        # from the already-proposed transaction instead.
+        key = (meta.client_node, meta.xid)
+        proposed = self._proposed_xids.get(key)
+        if proposed is not None:
+            self._answer_duplicate(meta, proposed)
+            return
+
         if self.op_interceptor is not None:
             try:
                 intercepted = self.op_interceptor(meta, op, self)
@@ -414,7 +435,8 @@ class ZkServer:
             # Faithful to ZooKeeper: rejected updates still travel the
             # ordered pipeline as error transactions.
             txn = ErrorTxn(to_code(error), str(error))
-        self.zab.propose(txn, meta)
+        zxid = self.zab.propose(txn, meta)
+        self._proposed_xids[(meta.client_node, meta.xid)] = zxid
 
     def _propose_intercepted(self, meta: RequestMeta,
                              intercepted: InterceptResult) -> None:
@@ -423,17 +445,71 @@ class ZkServer:
         self._apply_to_spec(intercepted.txn)
         if intercepted.block_path is not None:
             intercepted.txn.effects.append(("block", intercepted.block_path))
-        self.zab.propose(intercepted.txn, meta)
+        zxid = self.zab.propose(intercepted.txn, meta)
+        self._proposed_xids[(meta.client_node, meta.xid)] = zxid
+
+    def _answer_duplicate(self, meta: RequestMeta, zxid: int) -> None:
+        """Answer a retried update from its already-proposed txn record.
+
+        If the record has not applied locally yet, repointing its meta
+        at the retry's origin makes :meth:`_after_apply` send the reply
+        through the replica the client is *now* connected to. If it has
+        applied, the reply is re-derived from the committed txn.
+        """
+        log = self.zab.log
+        idx = bisect_right(log, zxid, key=lambda r: r.zxid)
+        if not idx or log[idx - 1].zxid != zxid:
+            return
+        record = log[idx - 1]
+        if zxid > self._applied_zxid:
+            record.meta = meta
+            return
+        txn = record.txn
+        if isinstance(txn, ErrorTxn):
+            self._reply_error(meta, from_code(txn.code, txn.message))
+            return
+        if isinstance(txn, MultiTxn):
+            blocks = [e[1] for e in txn.effects if e[0] == "block"]
+            if blocks:
+                for path in blocks:
+                    self._register_deferred_block(meta, path)
+                return
+            value: Any = txn.result_payload if txn.payload_set else None
+        elif isinstance(txn, CreateTxn):
+            value = txn.path
+        elif isinstance(txn, SetDataTxn):
+            # Best effort: the stat at apply time is gone; the current
+            # one keeps version-based cas loops progressing.
+            value = self.tree.exists(txn.path)
+        elif isinstance(txn, CreateSessionTxn):
+            value = record.zxid
+        elif isinstance(txn, CloseSessionTxn):
+            value = True
+        else:
+            value = None
+        if self.config.local_reads:
+            if meta.session_id:
+                self.read_floors.note(meta.session_id, record.zxid)
+            self._reply(meta.client_node,
+                        ZxidReply(meta.xid, True, value, zxid=record.zxid))
+            return
+        self._reply(meta.client_node, ClientReply(meta.xid, True, value))
 
     def _translate(self, meta: RequestMeta, op: Op, spec: DataTree) -> Txn:
         """Turn a validated update op into a deterministic txn (mutates spec)."""
         if isinstance(op, CreateOp):
             owner = meta.session_id if op.ephemeral else None
+            # Stamp the zxid the upcoming propose() will assign: czxid
+            # order in the spec tree must match the authoritative tree,
+            # or extensions that list by creation order ("oldest
+            # client") silently degrade to name order.
             actual = spec.create(op.path, op.data, ephemeral_owner=owner,
-                                 sequential=op.sequential)
+                                 sequential=op.sequential,
+                                 zxid=self.zab.next_zxid, now=self.env.now)
             return CreateTxn(actual, op.data, owner)
         if isinstance(op, SetDataOp):
-            spec.set_data(op.path, op.data, op.version)
+            spec.set_data(op.path, op.data, op.version,
+                          zxid=self.zab.next_zxid, now=self.env.now)
             return SetDataTxn(op.path, op.data)
         if isinstance(op, DeleteOp):
             spec.delete(op.path, op.version)
@@ -464,17 +540,29 @@ class ZkServer:
         spec = self._spec_tree
         if spec is None:
             return
-        _apply_txn_to_tree(spec, txn, zxid=0, now=self.env.now)
+        # Callers run before propose(), so next_zxid is the zxid this
+        # txn will carry — spec czxids stay identical to the committed
+        # tree's (extensions sort sub-objects by them).
+        _apply_txn_to_tree(spec, txn, zxid=self.zab.next_zxid,
+                           now=self.env.now)
 
     def _on_role_change(self) -> None:
         if self.zab.is_leader:
             self._spec_tree = _copy_tree(self.tree)
+            # Carry the at-most-once guard across elections: retries of
+            # updates the *previous* leader proposed arrive here with
+            # the same (client, xid) and must not re-execute.
+            self._proposed_xids = {
+                (record.meta.client_node, record.meta.xid): record.zxid
+                for record in self.zab.log if record.meta is not None
+            }
             for session_id in self.sessions.ids():
                 session = self.sessions.get(session_id)
                 self.heartbeats.track(session_id, session.timeout_ms,
                                       self.env.now)
         else:
             self._spec_tree = None
+            self._proposed_xids = {}
 
     # -- final stage (every replica) ----------------------------------------
 
@@ -623,8 +711,10 @@ class ZkServer:
             for session_id in self.heartbeats.expired(self.env.now):
                 self.heartbeats.forget(session_id)
                 if session_id in self.sessions:
-                    self.zab.propose(CloseSessionTxn(session_id), None)
+                    # Spec first: _apply_to_spec stamps with the zxid
+                    # the propose() right after it will assign.
                     self._apply_to_spec(CloseSessionTxn(session_id))
+                    self.zab.propose(CloseSessionTxn(session_id), None)
 
     # -- replies -----------------------------------------------------------
 

@@ -211,6 +211,13 @@ class ZabPeer:
         self._last_leader_contact = env.now
         #: throttle for heartbeat-driven lag resyncs (see _on_heartbeat).
         self._last_lag_sync = -1.0
+        #: True between joining a leader and receiving its NewLeader log
+        #: reconciliation. Until then our log suffix is suspect — it may
+        #: hold uncommitted proposals from a dead epoch — so delivery is
+        #: frozen: advancing the commit pointer over such an entry would
+        #: apply (and ack!) a transaction the cluster never committed,
+        #: silently diverging this replica's tree.
+        self._sync_pending = False
         self._alive = True
         self.on_role_change: Optional[Callable[[], None]] = None
 
@@ -266,6 +273,10 @@ class ZabPeer:
         self._pending_batch = []
         self._flush_scheduled = False
         self._last_leader_contact = self.env.now
+        # Our log may end in proposals that died with our old epoch
+        # (e.g. we led, proposed, crashed before the quorum acked):
+        # freeze delivery until a leader reconciles the log.
+        self._sync_pending = True
         # Probe for a leader; if none answers, the failure detector will
         # eventually start an election.
         for peer in self.peer_ids:
@@ -274,6 +285,16 @@ class ZabPeer:
         self.env.process(self._failure_detector_loop())
 
     # -- client of the protocol -----------------------------------------------
+
+    @property
+    def next_zxid(self) -> int:
+        """The zxid the next :meth:`propose` call will assign (leader only).
+
+        Lets the server stamp speculative state with the real zxid
+        before proposing: prep → propose runs in one event, so nothing
+        can advance the counter in between.
+        """
+        return make_zxid(self.epoch, self._counter + 1)
 
     def propose(self, txn: Txn, meta: Optional[RequestMeta] = None) -> int:
         """Leader-only: append an update to the replicated log.
@@ -354,6 +375,12 @@ class ZabPeer:
             return
         if src != self.leader_id:
             return
+        if self._sync_pending:
+            # Unreconciled log suffix: appending (and acking!) on top of
+            # it would bury a dead-epoch entry mid-log, where the sync's
+            # last-zxid prefix check cannot see it. The pending
+            # NewLeader reply carries these entries anyway.
+            return
         # FIFO channels make proposals arrive in order within an epoch.
         if self.log and msg.record.zxid <= self.last_zxid:
             return  # duplicate
@@ -375,6 +402,8 @@ class ZabPeer:
             return
         if src != self.leader_id:
             return
+        if self._sync_pending:
+            return  # see _on_proposal: no appends on an unreconciled log
         appended = False
         for record in msg.records:
             zxid = record.zxid
@@ -446,6 +475,8 @@ class ZabPeer:
             self._deliver_committed()
 
     def _deliver_committed(self) -> None:
+        if self._sync_pending:
+            return  # log suffix unreconciled; see _sync_pending above
         while (self._delivered_upto < len(self.log)
                and self.log[self._delivered_upto].zxid <= self.committed_zxid):
             record = self.log[self._delivered_upto]
@@ -475,14 +506,30 @@ class ZabPeer:
         if msg.epoch < self.epoch:
             return
         if msg.epoch > self.epoch or self.role is Role.LOOKING:
-            # A leader exists that we did not know about: join it.
+            # A leader exists that we did not know about: join it. Our
+            # log may end in proposals from a dead epoch (we were the
+            # deposed leader, or followed one): until this leader's
+            # NewLeader reply reconciles the log, delivering anything is
+            # unsafe — the heartbeat's committed_zxid covers *its*
+            # history, not our divergent suffix.
             self.epoch = msg.epoch
             self._term = max(self._term, msg.epoch)
             self.leader_id = msg.leader_id
             self.role = Role.FOLLOWER
+            self._sync_pending = True
+            self._last_lag_sync = self.env.now
             self._send(src, SyncRequest(self.last_zxid))
         self._last_leader_contact = self.env.now
         if self.role is not Role.FOLLOWER or src != self.leader_id:
+            return
+        if self._sync_pending:
+            # Reconciliation in flight: re-request it at heartbeat pace
+            # (the previous SyncRequest or its reply may have been lost;
+            # without a retry a single drop would freeze this replica).
+            now = self.env.now
+            if now - self._last_lag_sync >= self.config.heartbeat_ms:
+                self._last_lag_sync = now
+                self._send(src, SyncRequest(self.last_zxid))
             return
         if msg.committed_zxid > self.committed_zxid:
             # Commit catch-up: only up to what we actually hold.
@@ -561,6 +608,7 @@ class ZabPeer:
             self.leader_id = msg.leader_id
             self.role = Role.FOLLOWER
             self._last_leader_contact = self.env.now
+            self._sync_pending = True
             self._send(msg.leader_id, SyncRequest(self.last_zxid))
 
     def _become_leader(self) -> None:
@@ -573,6 +621,10 @@ class ZabPeer:
         self._establish_acks = {self.node_id}
         self._established = False
         self._pending_batch = []
+        # Zab: the elected leader's log *is* the authoritative history
+        # (it holds the highest zxid in its quorum) — nothing to
+        # reconcile against.
+        self._sync_pending = False
         # Establishment syncs everyone from scratch: full log (prefix 0).
         sync = NewLeader(self.epoch, list(self.log), self.last_zxid)
         for peer in self._learners:
@@ -589,6 +641,7 @@ class ZabPeer:
         self.role = Role.FOLLOWER
         self._last_leader_contact = self.env.now
         self._pending_batch = []
+        self._sync_pending = False  # this message IS the reconciliation
         # Where had we delivered up to? (Read before any log surgery.)
         delivered_zxid = (self.log[self._delivered_upto - 1].zxid
                           if self._delivered_upto else 0)

@@ -1,0 +1,184 @@
+"""Extension atomicity and /em registration durability under crashes.
+
+The paper's extensions execute inside the replication pipeline, so a
+leader (or BFT primary) crash mid-extension must be all-or-nothing:
+after recovery the extension's effects are either fully applied or
+absent, never half-applied — and the registration itself must survive
+the leader change, firing on the new leader with its prior state.
+"""
+
+from __future__ import annotations
+
+from repro.bench.systems import make_chaos_ensemble
+from repro.chaos import History, RecordingCoord, check_counter_history
+from repro.recipes import DsCoordClient, ZkCoordClient
+from repro.recipes.counter import ExtensionSharedCounter
+
+_PAUSE_MS = 400.0
+
+
+def _recorded_attempts(env, coord, op, key, gen_factory, retries=10):
+    """Each attempt is its own history record (failed ⇒ in-doubt)."""
+    for attempt in range(retries):
+        try:
+            value = yield from coord.mark(op, key, None, gen_factory())
+            return value
+        except Exception:
+            if attempt == retries - 1:
+                return None
+            yield env.timeout(_PAUSE_MS)
+    return None
+
+
+def _retrying(env, gen_factory, retries=12):
+    for attempt in range(retries):
+        try:
+            value = yield from gen_factory()
+            return value
+        except Exception:
+            if attempt == retries - 1:
+                raise
+            yield env.timeout(_PAUSE_MS)
+
+
+def _make(system):
+    ensemble, raw = make_chaos_ensemble(system, seed=9)
+    adapt = ZkCoordClient if system in ("zk", "ezk") else DsCoordClient
+    history = History()
+    coords = [RecordingCoord(adapt(c), history, f"c{i}", ensemble.env)
+              for i, c in enumerate(raw)]
+    return ensemble, coords, history
+
+
+def _crash_restart(ensemble, system, node_id, down_ms):
+    """Crash ``node_id`` now, restart it ``down_ms`` later."""
+    get = ensemble.server if system in ("zk", "ezk") else ensemble.replica
+    get(node_id).crash()
+    ensemble.env.defer(down_ms, get(node_id).recover)
+
+
+def _leader_id(ensemble, system):
+    if system in ("zk", "ezk"):
+        return ensemble.leader.node_id
+    return ensemble.primary.node_id
+
+
+def _consistent(ensemble):
+    check = getattr(ensemble, "trees_consistent", None) \
+        or getattr(ensemble, "spaces_consistent")
+    for _ in range(30):
+        if check():
+            return True
+        ensemble.env.run(until=ensemble.env.now + 500.0)
+    return check()
+
+
+def _counter_crash_run(system):
+    """Paced extension increments with the leader crashing mid-stream."""
+    ensemble, coords, history = _make(system)
+    env = ensemble.env
+    counters = [ExtensionSharedCounter(c) for c in coords]
+
+    def setup():
+        yield from counters[0].setup(register=True)
+        for counter in counters[1:]:
+            yield from counter.setup(register=False)
+
+    proc = env.process(setup())
+    env.run(until=proc)
+
+    # Crash the leader twice while increments are in flight: once early
+    # (likely mid-extension) and once later, each healed after 1.2 s.
+    start = env.now
+    env.defer(310.0, _crash_restart, ensemble, system,
+              _leader_id(ensemble, system), 1200.0)
+    env.defer(2900.0, lambda: _crash_restart(
+        ensemble, system, _leader_id(ensemble, system), 1200.0))
+
+    def worker(i):
+        yield env.timeout(40.0 * i)
+        for _ in range(4):
+            yield from _recorded_attempts(
+                env, coords[i], "inc", "/ctr",
+                lambda: counters[i].increment())
+            yield env.timeout(300.0)
+
+    workers = [env.process(worker(i)) for i in range(len(coords))]
+    env.run(until=env.all_of(workers))
+    env.run(until=env.now + 3000.0)
+
+    def final_read():
+        zk = getattr(coords[0].inner, "zk", None)
+        if zk is not None:
+            yield from zk.sync()
+        yield from coords[0].mark("final-read", "/ctr", None,
+                                  counters[0].read())
+
+    proc = env.process(final_read())
+    env.run(until=proc)
+    assert env.now - start < 60_000.0, "workload never finished"
+    return ensemble, history
+
+
+def test_ezk_extension_counter_atomic_across_leader_crash():
+    ensemble, history = _counter_crash_run("ezk")
+    verdict = check_counter_history(history.ops())
+    assert verdict.ok, f"extension increments not atomic: {verdict.reason}"
+    assert _consistent(ensemble), "replicas diverged after recovery"
+
+
+def test_eds_extension_counter_atomic_across_primary_crash():
+    ensemble, history = _counter_crash_run("eds")
+    verdict = check_counter_history(history.ops())
+    assert verdict.ok, f"extension increments not atomic: {verdict.reason}"
+    assert _consistent(ensemble), "replicas diverged after recovery"
+
+
+# ---------------------------------------------------------------------------
+# /em registration durability: the extension survives the leader change
+# ---------------------------------------------------------------------------
+
+
+def _registration_durability_run(system):
+    ensemble, coords, _history = _make(system)
+    env = ensemble.env
+    counters = [ExtensionSharedCounter(c) for c in coords]
+
+    def setup_and_incs():
+        yield from counters[0].setup(register=True)
+        yield from counters[1].setup(register=False)
+        first = yield from counters[0].increment()
+        second = yield from counters[1].increment()
+        return (first, second)
+
+    proc = env.process(setup_and_incs())
+    env.run(until=proc)
+    assert proc.value == (1, 2)
+
+    # Kill the node that processed the registration; a new leader (or
+    # BFT primary, after a view change) takes over.
+    old_leader = _leader_id(ensemble, system)
+    _crash_restart(ensemble, system, old_leader, 6000.0)
+    env.run(until=env.now + 2500.0)
+
+    def inc_after_failover():
+        value = yield from _retrying(env, lambda: counters[1].increment())
+        return value
+
+    proc = env.process(inc_after_failover())
+    env.run(until=proc)
+    # The extension fired on the new leader AND continued the counter
+    # state from before the crash — registration and data both survived.
+    assert proc.value == 3, (
+        f"{system}: increment after failover returned {proc.value!r}; "
+        "the registration or the counter state did not survive"
+    )
+    assert _consistent(ensemble), "replicas diverged after recovery"
+
+
+def test_ezk_registration_survives_leader_crash():
+    _registration_durability_run("ezk")
+
+
+def test_eds_registration_survives_primary_crash():
+    _registration_durability_run("eds")

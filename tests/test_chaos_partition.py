@@ -1,0 +1,165 @@
+"""Regression pins for the bugs the chaos harness flushed out.
+
+Three distinct fault-handling defects surfaced during schedule
+exploration; each gets a direct regression test plus a replay of a
+previously-failing (system, recipe, seed) cell:
+
+1. The ZK leader's speculative tree applied all mutations with
+   ``zxid=0``, so creation order among same-reign nodes was lost and
+   "oldest client" extensions tie-broke by name — two leaders at once
+   under ezk/election seed 3.
+2. A DepSpace replica that missed a view change behind a partition
+   dropped all higher-view traffic forever; with no client requests
+   after the heal nothing ever told it it was behind.
+3. The DepSpace adapter realized ``create`` as a plain ``out``, which
+   happily inserts duplicate tuples — three clients racing a counter's
+   setup each advanced a private copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.systems import make_chaos_ensemble
+from repro.chaos import run_chaos
+from repro.core.errors import ObjectExistsError
+from repro.depspace.tuples import ANY
+from repro.recipes import DsCoordClient, ZkCoordClient
+from repro.recipes.counter import COUNTER_PATH, TraditionalSharedCounter
+
+
+# ---------------------------------------------------------------------------
+# 1. speculative-tree czxids must match the committed tree
+# ---------------------------------------------------------------------------
+
+
+def test_leader_spec_tree_czxids_match_committed():
+    ensemble, raw = make_chaos_ensemble("ezk", seed=2)
+    env = ensemble.env
+    coord = ZkCoordClient(raw[0])
+    paths = ("/pin-a", "/pin-b")
+
+    def create_all():
+        for path in paths:
+            yield from coord.create(path, b"x")
+
+    proc = env.process(create_all())
+    env.run(until=proc)
+    env.run(until=env.now + 500.0)
+
+    leader = ensemble.leader
+    spec = leader._spec_tree
+    assert spec is not None
+    czxids = []
+    for path in paths:
+        committed = leader.tree.exists(path)
+        speculative = spec.exists(path)
+        assert committed is not None and speculative is not None
+        assert committed.czxid != 0, \
+            f"{path}: committed czxid was never stamped"
+        assert speculative.czxid == committed.czxid, (
+            f"{path}: spec czxid {speculative.czxid} != committed "
+            f"{committed.czxid} — creation order is lost to extensions"
+        )
+        czxids.append(committed.czxid)
+    assert czxids[0] < czxids[1], "creation order not reflected in czxids"
+
+
+@pytest.mark.parametrize("system,recipe,seed",
+                         [("ezk", "election", 3), ("zk", "barrier", 3)])
+def test_zk_previously_failing_cells(system, recipe, seed):
+    run = run_chaos(system, recipe, seed)
+    assert run.ok, f"{run.result.reason}\nreplay: {run.repro}"
+
+
+# ---------------------------------------------------------------------------
+# 2. an idle healed replica must still catch up (status gossip)
+# ---------------------------------------------------------------------------
+
+
+def test_ds_idle_replica_catches_up_after_partition():
+    ensemble, raw = make_chaos_ensemble("ds", seed=4)
+    env = ensemble.env
+    client = raw[0]
+
+    def write(tag):
+        yield from client.out(tag, b"payload")
+
+    proc = env.process(write("/pre"))
+    env.run(until=proc)
+
+    # Cut the view-0 primary off from its peers; the survivors elect a
+    # new view and keep executing writes the victim never sees.
+    victim = ensemble.primary.node_id
+    peers = [r for r in ensemble.replica_ids if r != victim]
+    ensemble.net.partition([victim], peers)
+    for i in range(3):
+        proc = env.process(write(f"/during-{i}"))
+        env.run(until=proc)
+
+    # Heal with NO further client traffic: only the periodic status
+    # gossip can tell the victim it missed a view and several slots.
+    ensemble.net.heal()
+    assert not ensemble.spaces_consistent()
+    for _ in range(30):
+        if ensemble.spaces_consistent():
+            break
+        env.run(until=env.now + 500.0)
+    assert ensemble.spaces_consistent(), (
+        f"{victim} never caught up after the heal despite the "
+        "status gossip"
+    )
+
+
+@pytest.mark.parametrize("system,recipe,seed",
+                         [("ds", "queue", 9), ("ds", "barrier", 14)])
+def test_ds_previously_failing_cells(system, recipe, seed):
+    run = run_chaos(system, recipe, seed)
+    assert run.ok, f"{run.result.reason}\nreplay: {run.repro}"
+
+
+# ---------------------------------------------------------------------------
+# 3. DepSpace create is a conditional insert, not a blind out
+# ---------------------------------------------------------------------------
+
+
+def test_ds_create_rejects_duplicates():
+    ensemble, raw = make_chaos_ensemble("ds", seed=6)
+    env = ensemble.env
+    first, second = DsCoordClient(raw[0]), DsCoordClient(raw[1])
+
+    def race():
+        yield from first.create("/obj", b"one")
+        try:
+            yield from second.create("/obj", b"two")
+        except ObjectExistsError:
+            return "rejected"
+        return "accepted"
+
+    proc = env.process(race())
+    env.run(until=proc)
+    assert proc.value == "rejected"
+    # Exactly one tuple exists, and it holds the first writer's data.
+    entries = ensemble.replicas[0].space("main").rdall(("/obj", ANY))
+    assert entries == [("/obj", b"one")]
+
+
+def test_ds_racing_counter_setups_share_one_counter():
+    ensemble, raw = make_chaos_ensemble("ds", seed=7)
+    env = ensemble.env
+    counters = [TraditionalSharedCounter(DsCoordClient(c)) for c in raw]
+
+    def run_client(counter):
+        yield from counter.setup()
+        value = yield from counter.increment()
+        return value
+
+    procs = [env.process(run_client(c)) for c in counters]
+    env.run(until=env.all_of(procs))
+    results = sorted(p.value for p in procs)
+    assert results == [1, 2, 3], (
+        f"increments {results}: racing setups left duplicate counter "
+        "tuples (each client advanced a private copy)"
+    )
+    entries = ensemble.replicas[0].space("main").rdall((COUNTER_PATH, ANY))
+    assert len(entries) == 1

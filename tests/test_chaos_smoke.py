@@ -1,0 +1,29 @@
+"""Chaos smoke: one seeded fault schedule per matrix cell.
+
+Every recipe × system cell runs one full chaos cycle — seeded fault
+schedule, recorded history, checker verdict — so a regression in any
+backend's fault handling fails tier-1 immediately. The failure message
+carries the exact replay command line. The full 25-seed explorer lives
+in ``test_chaos_explorer.py`` behind ``CHAOS_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import RECIPES, run_chaos
+
+SYSTEMS = ("zk", "ezk", "ds", "eds")
+SMOKE_SEED = 3
+
+
+@pytest.mark.parametrize("recipe", RECIPES)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_chaos_smoke_cell(system, recipe):
+    run = run_chaos(system, recipe, SMOKE_SEED)
+    assert run.ok, (
+        f"{system}/{recipe} seed {SMOKE_SEED}: {run.result.reason}\n"
+        f"replay: {run.repro}\n"
+        f"schedule:\n{run.schedule.describe()}\n"
+        f"nemesis log:\n" + "\n".join(run.nemesis_log)
+    )
