@@ -1,0 +1,226 @@
+"""Open-loop aggregate clients: modeling 100k+ client populations.
+
+The closed-loop drivers in :mod:`repro.bench.workload` spawn one
+simulated process (and one session) per client, which caps the modeled
+population at a few hundred before per-client kernel overhead dominates.
+This module decouples the *modeled* population from the *simulated*
+machinery, following the methodology critique in "How to Evaluate
+Distributed Coordination Systems?" (PAPERS.md): real coordination
+traffic is open-loop — arrivals do not wait for completions — with
+skewed key popularity and tail-dominated latency.
+
+One **arrival generator** process emits the aggregate request stream of
+``Workload.clients`` virtual clients (Poisson, uniform, or bursty), each
+request drawing a key from a Zipf-skewed popularity distribution and an
+op from the read/write mix. A small pool of real sessions — each
+pipelining many in-flight RPCs, like the multiplexed connections of a
+proxy tier — executes the stream. Latency is measured from *arrival*
+(not dispatch), so queueing delay under overload shows up in the tail
+percentiles exactly as it would for a real open-loop population.
+
+Usage::
+
+    from repro.bench.openloop import Workload, run_openloop_workload
+    result = run_openloop_workload(
+        "ezk", Workload(mix={"read": 0.9, "write": 0.1},
+                        skew=0.99, arrival="poisson",
+                        clients=100_000, ops_per_client_s=0.5))
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..recipes import ensure_object
+from .systems import make_coords, make_ensemble, run_all
+from .workload import WorkloadResult, _Window
+
+__all__ = ["Workload", "run_openloop_workload", "ARRIVALS"]
+
+ARRIVALS = ("poisson", "uniform", "bursty")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Declarative spec of an aggregate open-loop client population."""
+
+    #: op mix; fractions must sum to 1 (keys: "read", "write").
+    mix: Dict[str, float] = field(
+        default_factory=lambda: {"read": 0.9, "write": 0.1})
+    #: Zipf exponent over the key space (0 = uniform popularity;
+    #: 0.99 matches the YCSB default).
+    skew: float = 0.99
+    #: arrival process: "poisson" | "uniform" | "bursty".
+    arrival: str = "poisson"
+    #: modeled client population (virtual clients, not sessions).
+    clients: int = 100_000
+    #: per-virtual-client request rate; the generator emits the
+    #: aggregate ``clients * ops_per_client_s`` stream.
+    ops_per_client_s: float = 0.5
+    #: distinct objects the population touches.
+    keys: int = 512
+    #: bursty arrivals: peak-to-mean rate ratio and the fraction of
+    #: each period spent at peak (mean rate is preserved).
+    burst_factor: float = 5.0
+    burst_fraction: float = 0.1
+    burst_period_ms: float = 50.0
+
+    @property
+    def rate_ops_per_ms(self) -> float:
+        return self.clients * self.ops_per_client_s / 1000.0
+
+    def validate(self) -> None:
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"arrival {self.arrival!r}: expected one of {ARRIVALS}")
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"mix fractions sum to {total}, expected 1.0")
+        if unknown := set(self.mix) - {"read", "write"}:
+            raise ValueError(f"unknown mix ops: {sorted(unknown)}")
+        if self.rate_ops_per_ms <= 0.0:
+            raise ValueError("clients * ops_per_client_s must be positive")
+        if not 0.0 <= self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in [0, 1)")
+        if self.arrival == "bursty" and \
+                self.burst_factor * self.burst_fraction >= 1.0:
+            raise ValueError(
+                "burst_factor * burst_fraction must stay below 1 so the "
+                "off-peak rate remains positive")
+
+
+def _zipf_cdf(n_keys: int, skew: float) -> List[float]:
+    """Cumulative popularity of ``n_keys`` ranks under a Zipf(skew) law."""
+    weights = [1.0 / (rank ** skew) for rank in range(1, n_keys + 1)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    cdf[-1] = 1.0
+    return cdf
+
+
+def run_openloop_workload(
+        kind: str, workload: Workload, warmup_ms: float = 100.0,
+        measure_ms: float = 500.0, seed: int = 41, object_bytes: int = 256,
+        sessions: int = 16, inflight_per_session: int = 64,
+        local_reads: bool = True, n_observers: int = 2) -> WorkloadResult:
+    """Drive ``kind`` with the aggregate stream described by ``workload``.
+
+    ``sessions * inflight_per_session`` bounds simultaneously in-flight
+    requests (the aggregate pipe width); arrivals beyond it queue, and
+    their queueing delay is charged to their latency. Read scaling
+    (``local_reads`` + observers, ZK family) defaults on — the point of
+    the open-loop driver is large populations, which are read-path
+    bound.
+
+    Returns a :class:`WorkloadResult` whose ``clients`` field is the
+    *modeled* population; extras carry offered vs achieved rate, the
+    arrival/backlog accounting, and ``sim_events`` for the wall-clock
+    bench.
+    """
+    workload.validate()
+    kwargs = {}
+    if kind in ("zk", "ezk"):
+        if local_reads:
+            from ..zk.server import ZkConfig
+            kwargs["config"] = ZkConfig(local_reads=True)
+        if n_observers:
+            kwargs["n_observers"] = n_observers
+    elif local_reads:
+        from ..depspace.server import DsConfig
+        kwargs["config"] = DsConfig(unordered_reads=True)
+    ensemble = make_ensemble(kind, seed=seed, **kwargs)
+    env = ensemble.env
+    coords, raw = make_coords(ensemble, kind, sessions)
+    payload = b"x" * object_bytes
+    paths = [f"/ol{key}" for key in range(workload.keys)]
+
+    def prepare(coord, path):
+        yield from ensure_object(coord, path, payload)
+
+    for index, path in enumerate(paths):
+        run_all(ensemble, prepare(coords[index % sessions], path))
+
+    window = _Window(ensemble, raw, warmup_ms, measure_ms)
+    rng = random.Random(f"openloop-{kind}-{seed}")
+    cdf = _zipf_cdf(workload.keys, workload.skew) if workload.skew else None
+    read_fraction = workload.mix.get("read", 0.0)
+    rate = workload.rate_ops_per_ms
+
+    #: (arrival_time, is_read, path) requests awaiting a free slot.
+    pending: deque = deque()
+    #: parked executor slots waiting for work.
+    idle: deque = deque()
+    stats = {"arrivals": 0, "executed": 0, "max_backlog": 0}
+
+    def next_gap() -> float:
+        if workload.arrival == "uniform":
+            return 1.0 / rate
+        if workload.arrival == "bursty":
+            period = workload.burst_period_ms
+            in_burst = (env.now % period) < workload.burst_fraction * period
+            factor = workload.burst_factor if in_burst else (
+                (1.0 - workload.burst_factor * workload.burst_fraction)
+                / (1.0 - workload.burst_fraction))
+            return rng.expovariate(rate * factor)
+        return rng.expovariate(rate)
+
+    def generator():
+        while window.open_:
+            yield env.timeout(next_gap())
+            if not window.open_:
+                return
+            key = bisect_right(cdf, rng.random()) if cdf else \
+                rng.randrange(workload.keys)
+            if key >= workload.keys:  # guard the cdf[-1] == 1.0 edge
+                key = workload.keys - 1
+            request = (env.now, rng.random() < read_fraction, paths[key])
+            pending.append(request)
+            stats["arrivals"] += 1
+            if len(pending) > stats["max_backlog"]:
+                stats["max_backlog"] = len(pending)
+            if idle:
+                idle.popleft().succeed()
+
+    def executor(coord):
+        while True:
+            while not pending:
+                if not window.open_:
+                    return
+                slot = env.event()
+                idle.append(slot)
+                yield slot
+            arrived, is_read, path = pending.popleft()
+            if is_read:
+                yield from coord.read(path)
+            else:
+                yield from coord.update(path, payload)
+            stats["executed"] += 1
+            # Latency runs from *arrival*: open-loop queueing delay is
+            # part of what the population experiences.
+            window.record(arrived)
+
+    env.process(generator())
+    for coord in coords:
+        for _slot in range(inflight_per_session):
+            env.process(executor(coord))
+    window.run()
+
+    result = window.result(kind, workload.clients)
+    result.extra.update({
+        "modeled_clients": float(workload.clients),
+        "offered_ops_per_s": workload.rate_ops_per_ms * 1000.0,
+        "arrivals": float(stats["arrivals"]),
+        "executed": float(stats["executed"]),
+        "max_backlog": float(stats["max_backlog"]),
+        "sessions": float(sessions),
+        "inflight_per_session": float(inflight_per_session),
+        "sim_events": float(env.events_processed),
+    })
+    return result

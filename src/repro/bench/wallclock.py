@@ -40,17 +40,22 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..sim import Environment, default_kernel, kernel_backend
 from .workload import run_queue_workload, run_read_heavy_workload
 
-__all__ = ["measure_queue", "measure_read_heavy", "run_bench",
-           "run_read_bench", "main"]
+__all__ = ["measure_queue", "measure_read_heavy", "measure_kernel",
+           "measure_openloop", "run_bench", "run_read_bench",
+           "run_kernel_bench", "run_openloop_bench", "run_guard", "main"]
 
 DEFAULT_OUTPUT = Path("BENCH_core.json")
 CLIENTS = 32
 MEASURE_MS = 500.0
 SYSTEMS = ("zk", "ezk")
-WORKLOADS = ("fig8-queue", "read-heavy")
+WORKLOADS = ("fig8-queue", "read-heavy", "kernel", "openloop")
 READ_OBSERVERS = 2
+#: --guard: fail when events/wall-s drops below this fraction of the
+#: recorded row.
+GUARD_THRESHOLD = 0.30
 
 
 def _batched_config():
@@ -152,6 +157,138 @@ def run_read_bench(repeat: int = 3) -> Dict[str, Dict]:
     return rows
 
 
+def _kernel_spin(kernel: str, chains: int = 64,
+                 horizon_ms: float = 2000.0) -> int:
+    """Raw dispatch load: no protocol code, just the event queue.
+
+    ``chains`` self-rescheduling callbacks at staggered sub-millisecond
+    periods (the hot band), plus the RPC-deadline pattern that bloats a
+    plain heap: every eighth hot event also schedules a one-shot timer
+    3 s out that never becomes due within the horizon, so dead entries
+    accumulate in the queue exactly like uncancelled per-call deadline
+    timers do in the client. Returns events processed.
+    """
+    env = Environment(kernel=kernel)
+    defer = env.defer
+
+    def noop():
+        pass
+
+    def make(period: float):
+        calls = 0
+
+        def fire():
+            nonlocal calls
+            calls += 1
+            if not calls % 8:
+                defer(3000.0, noop)   # parked deadline, never due
+            defer(period, fire)
+        return fire
+
+    for i in range(chains):
+        period = 0.05 + (i % 20) * 0.037
+        defer(period * (i + 1) / chains, make(period))
+    env.run(until=horizon_ms)
+    return env.events_processed
+
+
+def measure_kernel(kernel: Optional[str] = None, repeat: int = 3,
+                   chains: int = 64,
+                   horizon_ms: float = 2000.0) -> Dict[str, float]:
+    """Events/wall-second of the bare queue kernel (no model code)."""
+    kernel = kernel or default_kernel()
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        events = _kernel_spin(kernel, chains=chains, horizon_ms=horizon_ms)
+        wall_s = time.perf_counter() - start
+        if best is None or wall_s < best["wall_s"]:
+            best = {
+                "wall_s": round(wall_s, 4),
+                "sim_events": events,
+                "events_per_wall_s": round(events / wall_s, 1),
+            }
+    best["kernel"] = kernel
+    best["backend"] = kernel_backend()
+    return best
+
+
+def run_kernel_bench(repeat: int = 3) -> Dict[str, Dict[str, float]]:
+    """Raw-dispatch rows for both kernels."""
+    return {kernel: measure_kernel(kernel, repeat=repeat)
+            for kernel in ("heap", "calendar")}
+
+
+def measure_openloop(kind: str, clients: int = 100_000,
+                     ops_per_client_s: float = 0.5,
+                     repeat: int = 2,
+                     measure_ms: float = MEASURE_MS) -> Dict[str, float]:
+    """One open-loop cell: ``clients`` modeled clients at the given rate."""
+    from .openloop import Workload, run_openloop_workload
+    workload = Workload(clients=clients, ops_per_client_s=ops_per_client_s)
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = run_openloop_workload(kind, workload,
+                                       measure_ms=measure_ms)
+        wall_s = time.perf_counter() - start
+        if best is None or wall_s < best["wall_s"]:
+            best = {
+                "wall_s": round(wall_s, 4),
+                "modeled_clients": clients,
+                "offered_ops_per_s": result.extra["offered_ops_per_s"],
+                "achieved_ops_per_s": round(result.throughput_ops, 1),
+                "sim_events": result.extra["sim_events"],
+                "events_per_wall_s": round(
+                    result.extra["sim_events"] / wall_s, 1),
+                "p50_ms": round(result.p50_latency_ms, 4),
+                "p99_ms": round(result.p99_latency_ms, 4),
+                "p999_ms": round(result.p999_latency_ms, 4),
+                "max_backlog": result.extra["max_backlog"],
+            }
+    return best
+
+
+def run_openloop_bench(repeat: int = 2) -> Dict[str, Dict[str, float]]:
+    return {kind: measure_openloop(kind, repeat=repeat) for kind in SYSTEMS}
+
+
+def run_guard(payload: dict, threshold: float = GUARD_THRESHOLD) -> int:
+    """Re-measure quickly; fail if any row regressed more than ``threshold``.
+
+    Compares events/wall-second against the recorded ``current`` (fig8)
+    and ``kernel`` rows in BENCH_core.json. Returns a process exit code.
+    """
+    failures = []
+
+    def check(label: str, recorded: Optional[dict], measured: dict) -> None:
+        if not recorded:
+            print(f"  {label:<18} no recorded row; skipping")
+            return
+        floor = recorded["events_per_wall_s"] * (1.0 - threshold)
+        got = measured["events_per_wall_s"]
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(f"  {label:<18} recorded={recorded['events_per_wall_s']:>11.1f}"
+              f"  measured={got:>11.1f}  floor={floor:>11.1f}  {verdict}")
+        if got < floor:
+            failures.append(label)
+
+    current = payload.get("current", {})
+    for kind in SYSTEMS:
+        check(f"fig8:{kind}", current.get(kind),
+              measure_queue(kind, repeat=2))
+    kernel_rows = payload.get("kernel", {})
+    for kernel in ("heap", "calendar"):
+        check(f"kernel:{kernel}", kernel_rows.get(kernel),
+              measure_kernel(kernel, repeat=2))
+    if failures:
+        print(f"wallclock guard FAILED: {', '.join(failures)} dropped "
+              f">{threshold:.0%} below the recorded rows")
+        return 1
+    print("wallclock guard passed")
+    return 0
+
+
 def _load(path: Path) -> dict:
     if path.exists():
         return json.loads(path.read_text())
@@ -167,7 +304,43 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--workload", choices=WORKLOADS,
                         default="fig8-queue",
                         help="driver to measure (default: fig8-queue)")
+    parser.add_argument("--guard", action="store_true",
+                        help="re-measure and fail if events/wall-s dropped "
+                             f">{GUARD_THRESHOLD:.0%} below recorded rows")
     args = parser.parse_args(argv)
+
+    if args.guard:
+        return run_guard(_load(args.output))
+
+    if args.workload == "kernel":
+        rows = run_kernel_bench(repeat=args.repeat)
+        payload = _load(args.output)
+        payload["kernel"] = rows
+        for kernel, row in rows.items():
+            print(f"  {kernel:<9} events/s={row['events_per_wall_s']:>12.1f}"
+                  f"  ({row['backend']})")
+        if rows["heap"]["events_per_wall_s"]:
+            ratio = (rows["calendar"]["events_per_wall_s"]
+                     / rows["heap"]["events_per_wall_s"])
+            print(f"  calendar/heap = {ratio:.2f}x")
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        return 0
+
+    if args.workload == "openloop":
+        rows = run_openloop_bench(repeat=args.repeat)
+        payload = _load(args.output)
+        payload["openloop"] = {
+            "measure_ms": MEASURE_MS,
+            "systems": rows,
+        }
+        for kind, row in rows.items():
+            print(f"  {kind:<5} clients={row['modeled_clients']:,}  "
+                  f"offered={row['offered_ops_per_s']:>9.1f} ops/s  "
+                  f"achieved={row['achieved_ops_per_s']:>9.1f} ops/s  "
+                  f"p50/p99/p999={row['p50_ms']:.3f}/{row['p99_ms']:.3f}/"
+                  f"{row['p999_ms']:.3f} ms  wall={row['wall_s']:.2f}s")
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        return 0
 
     if args.workload == "read-heavy":
         rows = run_read_bench(repeat=args.repeat)

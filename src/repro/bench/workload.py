@@ -10,6 +10,7 @@ operation.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -44,12 +45,16 @@ class WorkloadResult:
     p99_latency_ms: float
     client_kb_per_op: float
     completed_ops: int
+    p50_latency_ms: float = float("nan")
+    p999_latency_ms: float = float("nan")
     extra: Dict[str, float] = field(default_factory=dict)
 
     def row(self) -> str:
         return (f"{self.system:<5} n={self.clients:<3d} "
                 f"tput={self.throughput_ops:>10.1f} ops/s  "
                 f"lat={self.mean_latency_ms:>8.3f} ms  "
+                f"p50/p99/p999={self.p50_latency_ms:.3f}/"
+                f"{self.p99_latency_ms:.3f}/{self.p999_latency_ms:.3f} ms  "
                 f"KB/op={self.client_kb_per_op:>8.3f}  "
                 f"(ops={self.completed_ops})")
 
@@ -91,11 +96,23 @@ class _Window:
         ops = self.throughput.completed
         window_bytes = self._client_bytes() - self._bytes_at_start
         kb_per_op = (window_bytes / 1024.0 / ops) if ops else float("nan")
+        # One sort for all three percentiles (the sample list can run to
+        # hundreds of thousands of entries under open-loop drivers).
+        ordered = sorted(self.latency.samples)
+
+        def pct(p: float) -> float:
+            if not ordered:
+                return float("nan")
+            rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+            return ordered[rank - 1]
+
         return WorkloadResult(
             system=system, clients=clients,
             throughput_ops=self.throughput.ops_per_second,
             mean_latency_ms=self.latency.mean,
-            p99_latency_ms=self.latency.p99,
+            p50_latency_ms=pct(50.0),
+            p99_latency_ms=pct(99.0),
+            p999_latency_ms=pct(99.9),
             client_kb_per_op=kb_per_op,
             completed_ops=ops,
             extra=dict(extra or {}))
@@ -407,15 +424,16 @@ def run_read_heavy_workload(
 
     def worker(coord, index):
         rng = random.Random(f"read-heavy-{seed}-{index}")
+        path = f"/robj{index}"  # built once, not per op
         while window.open_:
             started = window.env.now
             if rng.random() < read_fraction:
-                yield from coord.read(f"/robj{index}")
+                yield from coord.read(path)
                 read_lat.record(window.env.now, window.env.now - started)
                 if started >= window.start:
                     counts["reads"] += 1
             else:
-                yield from coord.update(f"/robj{index}", payload)
+                yield from coord.update(path, payload)
                 write_lat.record(window.env.now, window.env.now - started)
                 if started >= window.start:
                     counts["writes"] += 1

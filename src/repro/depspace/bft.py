@@ -136,7 +136,9 @@ class BftPeer:
     def __init__(self, env: Environment, node_id: str, replica_ids: List[str],
                  send: Callable[[str, object], None],
                  execute: Callable[[BftRequest, float], None],
-                 config: Optional[BftConfig] = None):
+                 config: Optional[BftConfig] = None,
+                 send_many: Optional[
+                     Callable[[List[str], object], None]] = None):
         self.env = env
         self.node_id = node_id
         self.replica_ids = list(replica_ids)
@@ -145,7 +147,10 @@ class BftPeer:
         if self.n < 3 * self.f + 1 or self.f < 1:
             raise ValueError("BFT requires n = 3f + 1 with f >= 1")
         self._send = send
+        self._send_many = send_many
         self._execute = execute
+        #: everyone but us — the all-to-all fan-out destination list.
+        self._others = [r for r in self.replica_ids if r != node_id]
         self.config = config or BftConfig()
 
         self.view = 0
@@ -182,6 +187,19 @@ class BftPeer:
     def is_primary(self) -> bool:
         return self.primary_id == self.node_id
 
+    def _fan_out(self, msg: object) -> None:
+        """Send ``msg`` to every other replica.
+
+        With a batched ``send_many`` transport the payload is sized once
+        for the whole all-to-all round; destinations, ordering, and
+        per-destination latency draws match the sequential loop.
+        """
+        if self._send_many is not None:
+            self._send_many(self._others, msg)
+            return
+        for replica in self._others:
+            self._send(replica, msg)
+
     def crash(self) -> None:
         self._alive = False
 
@@ -214,9 +232,7 @@ class BftPeer:
         slot.request = request
         slot.ts = msg.ts
         slot.prepares.add(self.node_id)   # pre-prepare counts as the
-        for replica in self.replica_ids:  # primary's prepare
-            if replica != self.node_id:
-                self._send(replica, msg)
+        self._fan_out(msg)                # primary's prepare
 
     # -- protocol messages --------------------------------------------------
 
@@ -294,9 +310,7 @@ class BftPeer:
         slot.prepares.add(self.node_id)
         prepare = Prepare(self.view, msg.seq, msg.request.request_id,
                           self.node_id)
-        for replica in self.replica_ids:
-            if replica != self.node_id:
-                self._send(replica, prepare)
+        self._fan_out(prepare)
         self._check_prepared(msg.seq)
 
     def _on_prepare(self, msg: Prepare) -> None:
@@ -316,9 +330,7 @@ class BftPeer:
         slot.prepared = True
         slot.commits.add(self.node_id)
         commit = Commit(self.view, seq, slot.request.request_id, self.node_id)
-        for replica in self.replica_ids:
-            if replica != self.node_id:
-                self._send(replica, commit)
+        self._fan_out(commit)
         self._check_committed(seq)
 
     def _on_commit(self, msg: Commit) -> None:
@@ -396,9 +408,7 @@ class BftPeer:
                     - self._last_status >= self.config.status_interval_ms):
                 self._last_status = now
                 status = Status(self.view, self._exec_seq)
-                for replica in self.replica_ids:
-                    if replica != self.node_id:
-                        self._send(replica, status)
+                self._fan_out(status)
 
     def _vote_view_change(self, new_view: int) -> None:
         if new_view <= self.view:
@@ -408,9 +418,7 @@ class BftPeer:
             return
         votes[self.node_id] = self._exec_seq
         msg = ViewChange(new_view, self._exec_seq, self.node_id)
-        for replica in self.replica_ids:
-            if replica != self.node_id:
-                self._send(replica, msg)
+        self._fan_out(msg)
         self._maybe_install_view(new_view)
 
     def _on_view_change(self, msg: ViewChange) -> None:
@@ -440,9 +448,7 @@ class BftPeer:
             self._skip_to(horizon)
         if self.is_primary:
             new_view_msg = NewView(self.view)
-            for replica in self.replica_ids:
-                if replica != self.node_id:
-                    self._send(replica, new_view_msg)
+            self._fan_out(new_view_msg)
             for request, _seen in list(self._pending.values()):
                 self._propose(request)
 

@@ -108,7 +108,8 @@ class DsReplica:
 
         self.bft = BftPeer(env, node_id, replica_ids,
                            send=self._bft_send, execute=self._execute_request,
-                           config=self.config.bft)
+                           config=self.config.bft,
+                           send_many=self._bft_send_many)
         self.bft.on_gap = self._on_gap
 
         # EDS hooks (wired by repro.eds; None = plain DepSpace).
@@ -192,6 +193,10 @@ class DsReplica:
 
     def _bft_send(self, dst: str, msg: object) -> None:
         self.net.send(self.node_id, dst, msg)
+
+    def _bft_send_many(self, dsts, msg: object) -> None:
+        # Fan-out path: size the payload once for the whole broadcast.
+        self.net.broadcast(self.node_id, dsts, msg)
 
     def handle_message(self, src: str, msg: object) -> None:
         if not self._alive:

@@ -1,0 +1,86 @@
+"""Optional compiled build of the calendar-queue hot loop.
+
+The calendar queue (:mod:`repro.sim._calqueue`) is written to compile
+cleanly with **mypyc** or **Cython**: slotted attributes, tuple entries,
+no closures on the hot path. Neither compiler is a dependency — on a
+box that has one installed, running::
+
+    PYTHONPATH=src python -m repro.sim.build_ext
+
+drops a native extension next to ``_calqueue.py``. Python's import
+machinery prefers the extension suffix over ``.py``, so every
+subsequent run picks up the compiled loop transparently — no flags, no
+config. ``repro.sim.kernel_backend()`` reports which one is live
+('compiled' vs 'pure'), and the wallclock kernel rows record it.
+
+On a box with neither compiler this module is a no-op that says so and
+exits cleanly; the pure-python kernel is the supported baseline and all
+committed numbers are measured with it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = ["build", "main"]
+
+_SIM_DIR = Path(__file__).resolve().parent
+_TARGET = _SIM_DIR / "_calqueue.py"
+
+
+def _have(module: str) -> bool:
+    import importlib.util
+    return importlib.util.find_spec(module) is not None
+
+
+def _run(cmd: list, verbose: bool) -> bool:
+    if verbose:
+        print(f"  $ {' '.join(cmd)}")
+    proc = subprocess.run(cmd, cwd=_SIM_DIR, capture_output=True, text=True)
+    if proc.returncode != 0 and verbose:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+    return proc.returncode == 0
+
+
+def build(verbose: bool = True) -> str:
+    """Try to compile the hot loop; returns 'mypyc', 'cython', or 'pure'.
+
+    'pure' means no compiler was available (or compilation failed) and
+    the interpreted module remains in charge — never an error.
+    """
+    if _have("mypyc"):
+        if _run([sys.executable, "-m", "mypyc", _TARGET.name],
+                verbose=verbose):
+            if verbose:
+                print("compiled _calqueue with mypyc")
+            return "mypyc"
+        if verbose:
+            print("mypyc build failed; falling back")
+    if _have("Cython"):
+        if _run([sys.executable, "-m", "cython", "-3", _TARGET.name],
+                verbose=verbose) and _run(
+                ["cythonize", "-i", _TARGET.name], verbose=verbose):
+            if verbose:
+                print("compiled _calqueue with Cython")
+            return "cython"
+        if verbose:
+            print("Cython build failed; falling back")
+    if verbose:
+        print("no extension compiler available (mypyc/Cython); "
+              "keeping the pure-python kernel")
+    return "pure"
+
+
+def main() -> int:
+    result = build(verbose=True)
+    from . import kernel_backend
+    print(f"active backend next run: "
+          f"{'compiled' if result != 'pure' else kernel_backend()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

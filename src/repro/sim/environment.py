@@ -4,16 +4,48 @@ All distributed-system components in this repository (replicas, clients,
 the network) run inside one :class:`Environment`. Virtual time is a float
 in **milliseconds** throughout the code base, which matches the units the
 paper's figures use.
+
+Two interchangeable queue kernels back the environment (selected per
+instance, or globally via ``REPRO_SIM_KERNEL``):
+
+* ``calendar`` (default) — the bucketed timing-wheel in
+  :mod:`repro.sim._calqueue`: O(1) pushes, far-future timers parked in
+  cold buckets, same-timestamp bursts drained from one sorted snapshot.
+* ``heap`` — the original single ``heapq`` ordered by ``(when, seq)``.
+
+Both kernels deliver **identically ordered** event streams for the same
+program (pinned by tests/test_sim_determinism.py), so replay lines and
+figure results do not depend on the kernel choice.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Generator, Iterable, Optional
 
+from ._calqueue import CalendarQueue
 from .events import AllOf, AnyOf, Callback, Event, Process, Timeout
 
-__all__ = ["Environment", "Infeasible"]
+__all__ = ["Environment", "Infeasible", "default_kernel", "kernel_backend"]
+
+KERNELS = ("calendar", "heap")
+
+
+def default_kernel() -> str:
+    """Kernel used when :class:`Environment` is built without an override."""
+    kernel = os.environ.get("REPRO_SIM_KERNEL", "calendar")
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"REPRO_SIM_KERNEL={kernel!r}: expected one of {KERNELS}")
+    return kernel
+
+
+def kernel_backend() -> str:
+    """'compiled' when a native _calqueue extension is loaded, else 'pure'."""
+    from . import _calqueue
+    path = getattr(_calqueue, "__file__", "") or ""
+    return "pure" if path.endswith(".py") else "compiled"
 
 
 class Infeasible(RuntimeError):
@@ -30,14 +62,32 @@ class Environment:
         env.run(until=10_000.0)      # run 10 simulated seconds
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 kernel: Optional[str] = None):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
-        self._seq = 0
         #: total events processed since construction; the wall-clock
         #: microbenchmark divides this by elapsed real time to get the
         #: kernel's events/s figure (BENCH_core.json).
         self.events_processed = 0
+        if kernel is None:
+            kernel = default_kernel()
+        elif kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}: expected {KERNELS}")
+        self.kernel = kernel
+        if kernel == "heap":
+            self._cal: Optional[CalendarQueue] = None
+            self._queue: list[tuple[float, int, Event]] = []
+            self._seq = 0
+            #: every producer (schedule/defer/succeed/network delivery)
+            #: files occurrences through this one bound callable.
+            self._push = self._heap_push
+        else:
+            self._cal = CalendarQueue(self)
+            self._push = self._cal.push
+
+    def _heap_push(self, when: float, item: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, item))
 
     # -- clock -------------------------------------------------------------
 
@@ -52,8 +102,7 @@ class Environment:
         """Queue ``event`` for processing ``delay`` ms from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._push(self._now + delay, event)
 
     # -- factories -----------------------------------------------------------
 
@@ -71,8 +120,7 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
         callback = Callback(fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        self._push(self._now + delay, callback)
         return callback
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -93,16 +141,25 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next event, advancing the clock."""
-        if not self._queue:
-            raise Infeasible("no scheduled events")
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        cal = self._cal
+        if cal is None:
+            if not self._queue:
+                raise Infeasible("no scheduled events")
+            when, _seq, event = heapq.heappop(self._queue)
+            self._now = when
+        else:
+            event = cal.pop_one()
+            if event is None:
+                raise Infeasible("no scheduled events")
         self.events_processed += 1
         event._process()
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        cal = self._cal
+        if cal is None:
+            return self._queue[0][0] if self._queue else None
+        return cal.peek()
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -114,6 +171,10 @@ class Environment:
         * an :class:`Event` — run until that event is processed and return
           its value (re-raising its exception if it failed).
         """
+        cal = self._cal
+        if cal is not None:
+            return self._run_calendar(cal, until)
+
         # The loops below inline step(): at hundreds of thousands of
         # events per run the per-event method call is measurable
         # (BENCH_core.json). events_processed is settled on exit so the
@@ -161,5 +222,26 @@ class Environment:
                 event._process()
         finally:
             self.events_processed += count
+        self._now = deadline
+        return None
+
+    def _run_calendar(self, cal: CalendarQueue, until: Optional[Any]) -> Any:
+        if until is None:
+            cal.drain(float("inf"), None)
+            return None
+
+        if isinstance(until, Event):
+            status = cal.drain(float("inf"), until)
+            if status == 0 and not until.processed:
+                raise Infeasible(
+                    "event queue drained before the awaited event triggered")
+            if not until.ok:
+                raise until._value
+            return until._value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError("cannot run backwards in time")
+        cal.drain(deadline, None)
         self._now = deadline
         return None

@@ -16,7 +16,6 @@ Events move through three states:
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -70,6 +69,11 @@ class Event:
     attachment order, when the environment processes the event.
     """
 
+    # _pending_value is set externally by FifoResource.submit (the value a
+    # resource completion will succeed with); slotting it here keeps that
+    # hot path working without a per-instance __dict__.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_pending_value")
+
     def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -110,8 +114,7 @@ class Event:
         # Inlined env.schedule(self): succeed() fires once per resource
         # completion and per RPC reply, so the call overhead is hot.
         env = self.env
-        env._seq += 1
-        heapq.heappush(env._queue, (env._now, env._seq, self))
+        env._push(env._now, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -123,8 +126,7 @@ class Event:
         self._ok = False
         self._value = exception
         env = self.env
-        env._seq += 1
-        heapq.heappush(env._queue, (env._now, env._seq, self))
+        env._push(env._now, self)
         return self
 
     # -- callback plumbing -------------------------------------------------
@@ -153,6 +155,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed virtual-time delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
@@ -160,8 +164,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        env._seq += 1
-        heapq.heappush(env._queue, (env._now + delay, env._seq, self))
+        env._push(env._now + delay, self)
 
 
 class Process(Event):
@@ -171,6 +174,8 @@ class Process(Event):
     exception inside the generator fails the event (and propagates out of
     :meth:`Environment.run` if nothing waits on the process).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
         if not hasattr(generator, "send"):
@@ -241,6 +246,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
         super().__init__(env)
         self.events = list(events)
@@ -269,6 +276,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers as soon as any constituent event triggers."""
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if self.triggered:
             return
@@ -280,6 +289,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Triggers once every constituent event has triggered."""
+
+    __slots__ = ()
 
     def _observe(self, event: Event) -> None:
         if self.triggered:

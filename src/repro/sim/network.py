@@ -15,7 +15,6 @@ clients). It provides:
 from __future__ import annotations
 
 import dataclasses
-import heapq
 import operator
 import random
 from collections import defaultdict
@@ -419,11 +418,8 @@ class Network:
             self._sends_until_prune -= 1
             if self._sends_until_prune <= 0:
                 self._prune()
-        # Inlined env.schedule (hot path: one heappush per message).
-        env._seq += 1
-        heapq.heappush(env._queue, (arrival, env._seq,
-                                    _Delivery(self, src, dst, msg, size,
-                                              handler)))
+        # Inlined env.schedule (hot path: one push per message).
+        env._push(arrival, _Delivery(self, src, dst, msg, size, handler))
         return size
 
     def _prune(self) -> None:

@@ -51,8 +51,16 @@ class LatencyRecorder:
         return self.percentile(50.0)
 
     @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
     def p99(self) -> float:
         return self.percentile(99.0)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
 
 
 class IntervalThroughput:
@@ -102,6 +110,7 @@ def summarize(recorder: LatencyRecorder,
         "mean_ms": recorder.mean,
         "median_ms": recorder.median,
         "p99_ms": recorder.p99,
+        "p999_ms": recorder.p999,
     }
     if throughput is not None:
         summary["ops_per_second"] = throughput.ops_per_second

@@ -83,12 +83,16 @@ class ZkClient:
 
     def _on_message(self, src: str, msg: object) -> None:
         if isinstance(msg, ClientReply):
-            self._observe_zxid(getattr(msg, "zxid", 0))
+            # .zxid resolves to the class attribute (0) on plain replies,
+            # avoiding a getattr-with-default miss per reply.
+            zxid = msg.zxid
+            if zxid > self.last_zxid:
+                self.last_zxid = zxid
             future = self._pending.pop(msg.xid, None)
             if future is not None and not future.triggered:
                 future.succeed(msg)
         elif isinstance(msg, WatchNotification):
-            self._observe_zxid(getattr(msg, "zxid", 0))
+            self._observe_zxid(msg.zxid)
             self._dispatch_watch(msg)
 
     def _observe_zxid(self, zxid: int) -> None:

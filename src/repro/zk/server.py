@@ -169,7 +169,8 @@ class ZkServer:
                            send=self._zab_send, deliver=self._on_deliver,
                            config=self.config.zab,
                            observer_ids=observer_ids,
-                           is_observer=is_observer)
+                           is_observer=is_observer,
+                           send_many=self._zab_send_many)
         self.zab.on_role_change = self._on_role_change
         self._spec_tree: Optional[DataTree] = None
 
@@ -194,6 +195,10 @@ class ZkServer:
 
     def _zab_send(self, dst: str, msg: object) -> None:
         self.net.send(self.node_id, dst, msg)
+
+    def _zab_send_many(self, dsts, msg: object) -> None:
+        # Fan-out path: size the payload once for the whole broadcast.
+        self.net.broadcast(self.node_id, dsts, msg)
 
     def start(self, leader_id: str) -> None:
         """Bootstrap with a known initial leader (no election round)."""

@@ -211,6 +211,12 @@ class ClientReply:
     error_code: str = ""
     error_message: str = ""
 
+    # Deliberately *unannotated*: a plain class attribute, not a
+    # dataclass field, so plain replies keep their exact wire size while
+    # the client inbox can read ``msg.zxid`` without a getattr-miss on
+    # every non-zxid reply. ZxidReply shadows it with a real field.
+    zxid = 0
+
 
 @dataclass
 class WatchNotification:
@@ -219,6 +225,10 @@ class WatchNotification:
     session_id: int
     event_type: str
     path: str
+
+    # Plain class attribute (see ClientReply.zxid): keeps the base
+    # notification's wire size while ZxidWatchNotification overrides.
+    zxid = 0
 
 
 # ---------------------------------------------------------------------------

@@ -170,7 +170,9 @@ class ZabPeer:
                  deliver: Callable[[TxnRecord], None],
                  config: Optional[ZabConfig] = None,
                  observer_ids: Optional[List[str]] = None,
-                 is_observer: bool = False):
+                 is_observer: bool = False,
+                 send_many: Optional[
+                     Callable[[List[str], object], None]] = None):
         self.env = env
         self.node_id = node_id
         #: voting members other than us (for an observer: all voters).
@@ -182,6 +184,7 @@ class ZabPeer:
         self._observer_set = frozenset(self.observer_ids)
         self.is_observer = is_observer
         self._send = send
+        self._send_many = send_many
         self._deliver = deliver
         self.config = config or ZabConfig()
 
@@ -237,6 +240,22 @@ class ZabPeer:
     @property
     def last_zxid(self) -> int:
         return self.log[-1].zxid if self.log else 0
+
+    def _fan_out(self, msg: object) -> None:
+        """Send ``msg`` to every learner (voting followers + observers).
+
+        Leader fan-out is the hottest send path in the system (one copy
+        per learner per proposal/commit/heartbeat). When the transport
+        provides a batched ``send_many`` the payload is sized once for
+        the whole fan-out; destinations, ordering, and per-destination
+        latency draws are identical to the sequential loop.
+        """
+        learners = self._learners
+        if self._send_many is not None:
+            self._send_many(learners, msg)
+            return
+        for peer in learners:
+            self._send(peer, msg)
 
     # -- bootstrap ---------------------------------------------------------
 
@@ -335,8 +354,7 @@ class ZabPeer:
             msg: object = Proposal(self.epoch, batch[0])
         else:
             msg = BatchProposal(self.epoch, batch, self.committed_zxid)
-        for peer in self._learners:
-            self._send(peer, msg)
+        self._fan_out(msg)
 
     # -- message dispatch ------------------------------------------------------
 
@@ -464,8 +482,7 @@ class ZabPeer:
             return
         self.committed_zxid = candidate
         self._deliver_committed()
-        for peer in self._learners:
-            self._send(peer, Commit(self.epoch, candidate))
+        self._fan_out(Commit(self.epoch, candidate))
 
     def _on_commit(self, src: str, msg: Commit) -> None:
         if self.role is not Role.FOLLOWER or src != self.leader_id:
@@ -489,8 +506,7 @@ class ZabPeer:
         while self._alive:
             if self.is_leader:
                 beat = Heartbeat(self.epoch, self.node_id, self.committed_zxid)
-                for peer in self._learners:
-                    self._send(peer, beat)
+                self._fan_out(beat)
             yield self.env.timeout(self.config.heartbeat_ms)
 
     def _failure_detector_loop(self):
@@ -627,8 +643,7 @@ class ZabPeer:
         self._sync_pending = False
         # Establishment syncs everyone from scratch: full log (prefix 0).
         sync = NewLeader(self.epoch, list(self.log), self.last_zxid)
-        for peer in self._learners:
-            self._send(peer, sync)
+        self._fan_out(sync)
         if self.quorum == 1:  # degenerate single-node ensemble
             self._finish_establishment()
 
@@ -685,8 +700,7 @@ class ZabPeer:
         if self.last_zxid > self.committed_zxid:
             self.committed_zxid = self.last_zxid
         self._deliver_committed()
-        for peer in self._learners:
-            self._send(peer, Commit(self.epoch, self.committed_zxid))
+        self._fan_out(Commit(self.epoch, self.committed_zxid))
         if self.on_role_change:
             self.on_role_change()
 

@@ -26,6 +26,26 @@ def test_same_seed_replays_byte_identical(system, recipe, seed):
     assert first.result == second.result
 
 
+@pytest.mark.parametrize("system,recipe,seed", CELLS)
+def test_replay_byte_identical_across_kernels(system, recipe, seed,
+                                              monkeypatch):
+    """Replay lines must not depend on the event-queue kernel.
+
+    A seed found by the explorer under the fast calendar-queue kernel
+    must reproduce under the heap kernel (and vice versa) — otherwise a
+    kernel switch would silently invalidate every recorded repro line.
+    """
+    runs = {}
+    for kernel in ("heap", "calendar"):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", kernel)
+        runs[kernel] = run_chaos(system, recipe, seed)
+    heap, cal = runs["heap"], runs["calendar"]
+    assert heap.schedule.describe() == cal.schedule.describe()
+    assert heap.nemesis_log == cal.nemesis_log
+    assert heap.history.canonical() == cal.history.canonical()
+    assert heap.result == cal.result
+
+
 def test_schedule_generation_is_pure():
     a, b = random_schedule(42), random_schedule(42)
     assert a == b
