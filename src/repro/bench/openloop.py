@@ -68,6 +68,14 @@ class Workload:
     burst_factor: float = 5.0
     burst_fraction: float = 0.1
     burst_period_ms: float = 50.0
+    #: session churn: short-lived sessions opened per second alongside
+    #: the op stream (connect → ephemeral create → close, with every
+    #: 4th abandoned to exercise expiry + reaping). 0 = off; zk family
+    #: only.
+    churn_per_s: float = 0.0
+    #: watcher fleet pinned to the hottest key: every write to it fans
+    #: out this many notifications. 0 = off; zk family only.
+    watch_fanout: int = 0
 
     @property
     def rate_ops_per_ms(self) -> float:
@@ -91,6 +99,10 @@ class Workload:
             raise ValueError(
                 "burst_factor * burst_fraction must stay below 1 so the "
                 "off-peak rate remains positive")
+        if self.churn_per_s < 0.0:
+            raise ValueError("churn_per_s must be non-negative")
+        if self.watch_fanout < 0:
+            raise ValueError("watch_fanout must be non-negative")
 
 
 def _zipf_cdf(n_keys: int, skew: float) -> List[float]:
@@ -125,6 +137,11 @@ def run_openloop_workload(
     bench.
     """
     workload.validate()
+    if kind not in ("zk", "ezk") and \
+            (workload.churn_per_s or workload.watch_fanout):
+        raise ValueError(
+            "churn_per_s / watch_fanout require the zk family "
+            "(sessions and watches are ZooKeeper machinery)")
     kwargs = {}
     if kind in ("zk", "ezk"):
         if local_reads:
@@ -206,7 +223,74 @@ def run_openloop_workload(
             # part of what the population experiences.
             window.record(arrived)
 
+    # Session churn + watch fan-out riders (zk family, flag-gated).
+    # Their RNG is a separate stream and their processes exist only
+    # when the knobs are set, so default runs stay byte-identical.
+    side_stats = {"churn_connects": 0, "churn_closed": 0,
+                  "churn_abandoned": 0, "watch_notifications": 0}
+
+    def churn_session(i: int):
+        from ..zk.errors import ZkError
+        client = ensemble.client(node_id=f"olchurn{i}",
+                                 session_timeout_ms=2000.0, resilient=True)
+        try:
+            yield from client.connect()
+        except ZkError:
+            return
+        side_stats["churn_connects"] += 1
+        try:
+            yield from client.create(f"/olchurn{i}", b"c", ephemeral=True)
+        except ZkError:
+            pass
+        if i % 4 == 3:
+            client.abandon()        # expiry sweep reaps the ephemeral
+            side_stats["churn_abandoned"] += 1
+            return
+        try:
+            yield from client.close()
+            side_stats["churn_closed"] += 1
+        except ZkError:
+            pass
+
+    def churner():
+        churn_rng = random.Random(f"openloop-churn-{kind}-{seed}")
+        rate_ms = workload.churn_per_s / 1000.0
+        i = 0
+        while window.open_:
+            yield env.timeout(churn_rng.expovariate(rate_ms))
+            if not window.open_:
+                return
+            env.process(churn_session(i))
+            i += 1
+
+    def watcher(i: int):
+        from ..zk.errors import ZkError
+        client = ensemble.client(node_id=f"olwatch{i}",
+                                 session_timeout_ms=8000.0, resilient=True)
+        try:
+            yield from client.connect()
+        except ZkError:
+            return
+        hot = paths[0]   # Zipf rank 1: the key writes hit most often
+        while window.open_:
+            waiter = client.wait_for_event(hot)
+            try:
+                yield from client.get_data(hot, watch=True)
+            except ZkError:
+                client.discard_waiter(hot, waiter)
+                yield env.timeout(100.0)
+                continue
+            note = yield from client.await_notification(
+                hot, waiter, deadline=env.timeout(1000.0))
+            client.discard_waiter(hot, waiter)
+            if note is not None:
+                side_stats["watch_notifications"] += 1
+
     env.process(generator())
+    if workload.churn_per_s:
+        env.process(churner())
+    for i in range(workload.watch_fanout):
+        env.process(watcher(i))
     for coord in coords:
         for _slot in range(inflight_per_session):
             env.process(executor(coord))
@@ -223,4 +307,17 @@ def run_openloop_workload(
         "inflight_per_session": float(inflight_per_session),
         "sim_events": float(env.events_processed),
     })
+    if workload.churn_per_s:
+        result.extra.update({
+            "churn_per_s": workload.churn_per_s,
+            "churn_connects": float(side_stats["churn_connects"]),
+            "churn_closed": float(side_stats["churn_closed"]),
+            "churn_abandoned": float(side_stats["churn_abandoned"]),
+        })
+    if workload.watch_fanout:
+        result.extra.update({
+            "watch_fanout": float(workload.watch_fanout),
+            "watch_notifications": float(
+                side_stats["watch_notifications"]),
+        })
     return result

@@ -15,11 +15,13 @@ recipe invariants for large ones. Every run is replayable from its
 from .checker import (CheckResult, CounterModel, RegisterModel,
                       check_barrier_history, check_counter_history,
                       check_election_history, check_linearizable,
-                      check_queue_history)
+                      check_queue_history, check_session_log)
 from .explorer import RECIPES, ChaosRun, repro_line, run_chaos
 from .history import History, HistoryEvent, OpRecord, RecordingCoord
 from .nemesis import Nemesis
-from .schedule import FaultAction, Schedule, random_schedule
+from .schedule import (FaultAction, Schedule, random_schedule,
+                       random_storm_schedule)
+from .storms import SESSION_SCENARIOS, run_session_chaos
 
 __all__ = [
     "CheckResult",
@@ -38,8 +40,12 @@ __all__ = [
     "FaultAction",
     "Schedule",
     "random_schedule",
+    "random_storm_schedule",
     "RECIPES",
+    "SESSION_SCENARIOS",
     "ChaosRun",
     "run_chaos",
+    "run_session_chaos",
+    "check_session_log",
     "repro_line",
 ]

@@ -14,13 +14,15 @@ import sys
 
 from ..bench.systems import SYSTEMS
 from .explorer import RECIPES, run_chaos
+from .storms import SESSION_SCENARIOS, run_session_chaos
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.chaos", description="replay one seeded chaos run")
     parser.add_argument("--system", required=True, choices=SYSTEMS)
-    parser.add_argument("--recipe", required=True, choices=RECIPES)
+    parser.add_argument("--recipe", required=True,
+                        choices=RECIPES + SESSION_SCENARIOS)
     parser.add_argument("--seed", required=True, type=int)
     parser.add_argument("--clients", type=int, default=3)
     parser.add_argument("--ops", type=int, default=4)
@@ -29,9 +31,12 @@ def main(argv=None) -> int:
                         help="dump the full canonical history")
     args = parser.parse_args(argv)
 
-    run = run_chaos(args.system, args.recipe, args.seed,
-                    n_clients=args.clients, ops_per_client=args.ops,
-                    rounds=args.rounds)
+    if args.recipe in SESSION_SCENARIOS:
+        run = run_session_chaos(args.system, args.recipe, args.seed)
+    else:
+        run = run_chaos(args.system, args.recipe, args.seed,
+                        n_clients=args.clients, ops_per_client=args.ops,
+                        rounds=args.rounds)
     print(f"# {run.repro}")
     print("-- schedule --")
     print(run.schedule.describe())

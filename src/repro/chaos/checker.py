@@ -36,6 +36,7 @@ __all__ = [
     "check_queue_history",
     "check_barrier_history",
     "check_election_history",
+    "check_session_log",
 ]
 
 
@@ -317,3 +318,84 @@ CHECKERS: dict = {
     "barrier": check_barrier_history,
     "election": check_election_history,
 }
+
+
+# ---------------------------------------------------------------------------
+# session-lifecycle invariants (zk family)
+# ---------------------------------------------------------------------------
+
+
+def check_session_log(records, ephemeral_owners: dict,
+                      open_sessions: set) -> CheckResult:
+    """Session-lifecycle invariants over a committed transaction log.
+
+    ``records`` is the committed prefix of a (healed) leader's Zab log,
+    ``ephemeral_owners`` maps replica id -> set of session ids that
+    still own ephemerals in that replica's tree, and ``open_sessions``
+    is the healed leader's view of live sessions. Checks, in zxid
+    order:
+
+    * a session id is never resurrected (created twice — ids are
+      creation zxids, so this also catches zxid reuse);
+    * at most one ``CloseSessionTxn`` commits per session (exactly-once
+      reaping: the close is what deletes the session's ephemerals);
+    * no client transaction commits for a session after its close
+      (expiry fencing: error txns are fine — they are rejections
+      travelling the ordered pipeline, not applied writes);
+    * no committed transaction creates an ephemeral owned by a closed
+      session;
+    * ephemerals surviving in any replica's tree belong to sessions
+      that are still open, never to closed ones.
+    """
+    from ..zk.txn import (CloseSessionTxn, CreateSessionTxn, CreateTxn,
+                          ErrorTxn, MultiTxn)
+
+    def ephemeral_creates(txn):
+        if isinstance(txn, CreateTxn) and txn.ephemeral_owner:
+            yield txn.ephemeral_owner
+        elif isinstance(txn, MultiTxn):
+            for sub in txn.txns:
+                yield from ephemeral_creates(sub)
+
+    created: set = set()
+    closed: set = set()
+    for record in records:
+        txn = record.txn
+        if isinstance(txn, CreateSessionTxn):
+            if record.zxid in created:
+                return CheckResult(
+                    False, f"session {record.zxid} resurrected "
+                           f"(zxid {record.zxid})")
+            created.add(record.zxid)
+            continue
+        if isinstance(txn, CloseSessionTxn):
+            if txn.session_id in closed:
+                return CheckResult(
+                    False, f"session {txn.session_id} closed twice "
+                           f"(second close at zxid {record.zxid})")
+            closed.add(txn.session_id)
+            continue
+        if isinstance(txn, ErrorTxn):
+            continue
+        meta = record.meta
+        if meta is not None and meta.session_id in closed:
+            return CheckResult(
+                False, f"post-expiry write applied: zxid {record.zxid} "
+                       f"({type(txn).__name__}) for closed session "
+                       f"{meta.session_id}")
+        for owner in ephemeral_creates(txn):
+            if owner in closed:
+                return CheckResult(
+                    False, f"ephemeral created for closed session "
+                           f"{owner} at zxid {record.zxid}")
+    for replica_id, owners in sorted(ephemeral_owners.items()):
+        for owner in sorted(owners):
+            if owner in closed:
+                return CheckResult(
+                    False, f"{replica_id}: ephemeral of closed session "
+                           f"{owner} survived the reap")
+            if owner not in open_sessions:
+                return CheckResult(
+                    False, f"{replica_id}: ephemeral owner {owner} is "
+                           f"neither open nor closed-and-reaped")
+    return CheckResult(True)

@@ -119,6 +119,16 @@ class Nemesis:
         self.log: List[str] = []
         self._follower_rotation = 0
         self._active_rules: List[int] = []
+        #: storm bookkeeping: spawned client processes (the driver
+        #: awaits them before settling) and counters the session
+        #: checkers consume (see repro.chaos.storms).
+        self.storm_procs: List[object] = []
+        self.storm_stats: dict = {
+            "churn_connects": 0, "churn_closed": 0, "churn_abandoned": 0,
+            "zombie_fenced": 0, "zombie_applied": 0, "zombie_lost": 0,
+            "watch_notifications": 0, "watchers_served": 0,
+        }
+        self._storm_index = 0
 
     def start(self) -> None:
         """Arm every schedule action plus the final quiesce."""
@@ -232,6 +242,26 @@ class Nemesis:
 
     def _do_delay_burst(self, action: FaultAction) -> None:
         self._burst(action, "delay")
+
+    def _do_session_storm(self, action: FaultAction) -> None:
+        self._spawn_storm(action, "session")
+
+    def _do_watch_storm(self, action: FaultAction) -> None:
+        self._spawn_storm(action, "watch")
+
+    def _spawn_storm(self, action: FaultAction, flavor: str) -> None:
+        # Late import: storms drive Nemesis-run schedules, so the
+        # modules reference each other.
+        from .storms import spawn_session_storm, spawn_watch_storm
+        if not isinstance(self.adapter, _ZkAdapter):
+            raise ValueError(f"{action.kind} requires the zk family")
+        storm_id = self._storm_index
+        self._storm_index += 1
+        spawn = (spawn_session_storm if flavor == "session"
+                 else spawn_watch_storm)
+        self.storm_procs.extend(spawn(self, action, storm_id))
+        self._note(f"{action.kind} #{storm_id} n={action.count} "
+                   f"for={action.duration_ms:g}ms")
 
     def _do_kill_client(self, action: FaultAction) -> None:
         for client in self.clients:

@@ -21,6 +21,11 @@ windows):
 ``delay_burst``     add ``extra_ms`` to replication message latency
 ``kill_client``     abrupt client death (session-expiry paths); never
                     generated randomly, only in hand-written schedules
+``session_storm``   spawn ``count`` short-lived sessions over the
+                    window (half close gracefully, half go silent and
+                    probe the expiry fence); zk family only
+``watch_storm``     spawn ``count`` watchers of one hot path plus a
+                    writer hammering it over the window; zk family only
 ==================  =====================================================
 """
 
@@ -30,11 +35,15 @@ import dataclasses
 import random
 from typing import Tuple
 
-__all__ = ["FaultAction", "Schedule", "random_schedule", "KINDS"]
+__all__ = ["FaultAction", "Schedule", "random_schedule",
+           "random_storm_schedule", "KINDS"]
 
 KINDS = ("crash_leader", "crash_follower", "partition_leader",
          "partition_follower", "partition_oneway", "drop_burst",
-         "delay_burst", "kill_client")
+         "delay_burst", "kill_client", "session_storm", "watch_storm")
+
+#: storm kinds carry a client ``count`` and may overlap a classic fault.
+STORM_KINDS = ("session_storm", "watch_storm")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +54,7 @@ class FaultAction:
     duration_ms: float = 0.0    # fault window; 0 = permanent until quiesce
     probability: float = 1.0    # drop_burst
     extra_ms: float = 0.0       # delay_burst
+    count: int = 0              # storm kinds: clients to spawn
 
     def describe(self) -> str:
         parts = [f"t={self.at_ms:g}ms {self.kind}"]
@@ -56,6 +66,8 @@ class FaultAction:
             parts.append(f"p={self.probability:g}")
         if self.kind == "delay_burst":
             parts.append(f"+{self.extra_ms:g}ms")
+        if self.kind in STORM_KINDS:
+            parts.append(f"n={self.count}")
         return " ".join(parts)
 
 
@@ -97,4 +109,46 @@ def random_schedule(seed: int) -> Schedule:
         )
         actions.append(action)
         t += duration + rng.uniform(400.0, 1200.0)
+    return Schedule(tuple(actions), quiesce_ms=round(t + 500.0, 3))
+
+
+def random_storm_schedule(seed: int, scenario: str) -> Schedule:
+    """1–2 storm windows, most overlapped by one classic fault each.
+
+    ``scenario`` is ``"churn"`` (session storms: connect/expire churn)
+    or ``"watch_storm"`` (watch fan-out storms). Storm windows stay
+    serialized with each other; the optional classic fault fires
+    *inside* its storm window (starting in the first half, ending by
+    the window's close), because reconnect/fencing under a concurrently
+    crashing or partitioned ensemble is exactly what the session
+    machinery must survive. Seeded independently of
+    :func:`random_schedule` so existing schedules stay byte-identical.
+    """
+    if scenario == "churn":
+        storm_kind, lo, hi = "session_storm", 4, 10
+    elif scenario == "watch_storm":
+        storm_kind, lo, hi = "watch_storm", 5, 12
+    else:
+        raise ValueError(f"unknown storm scenario {scenario!r}")
+    rng = random.Random(f"chaos-storm-{scenario}-{seed}")
+    classic = ("crash_leader", "crash_follower", "partition_leader",
+               "partition_follower", "partition_oneway", "drop_burst",
+               "delay_burst")
+    actions = []
+    t = rng.uniform(150.0, 500.0)
+    for _ in range(rng.randint(1, 2)):
+        duration = rng.uniform(600.0, 1500.0)
+        actions.append(FaultAction(
+            at_ms=round(t, 3), kind=storm_kind,
+            duration_ms=round(duration, 3), count=rng.randint(lo, hi)))
+        if rng.random() < 0.7:
+            fault_at = t + rng.uniform(0.0, duration / 2.0)
+            fault_len = rng.uniform(200.0, duration / 2.0)
+            actions.append(FaultAction(
+                at_ms=round(fault_at, 3), kind=rng.choice(classic),
+                duration_ms=round(fault_len, 3),
+                probability=round(rng.uniform(0.05, 0.25), 3),
+                extra_ms=round(rng.uniform(5.0, 40.0), 3)))
+        t += duration + rng.uniform(400.0, 900.0)
+    actions.sort(key=lambda a: a.at_ms)
     return Schedule(tuple(actions), quiesce_ms=round(t + 500.0, 3))

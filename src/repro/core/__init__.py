@@ -24,6 +24,7 @@ from .extension import (EventSubscription, Extension, OperationSubscription,
                         match_pattern)
 from .manager import ExtensionManager, RegisteredExtension
 from .memory_state import MemoryState
+from .retry import DS_RETRY_POLICY, ZK_RETRY_POLICY, Backoff, RetryPolicy
 from .sandbox import (BudgetedState, SandboxLimits, StepLimiter,
                       compile_extension, run_contained)
 from .verifier import (SAFE_ATTRIBUTES, SAFE_BUILTINS, STATE_API_METHODS,
@@ -35,6 +36,7 @@ __all__ = [
     "Extension", "OperationSubscription", "EventSubscription",
     "match_pattern",
     "ExtensionManager", "RegisteredExtension", "MemoryState",
+    "RetryPolicy", "Backoff", "ZK_RETRY_POLICY", "DS_RETRY_POLICY",
     "VerifierConfig", "verify_source", "SAFE_BUILTINS", "SAFE_ATTRIBUTES",
     "STATE_API_METHODS",
     "SandboxLimits", "BudgetedState", "StepLimiter", "compile_extension",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core.retry import DS_RETRY_POLICY, RetryPolicy
 from ..sim import Environment, Event, Network
 from .bft import BftRequest, RequestId
 from .protocol import (CasOp, DsOp, DsReply, InOp, InpOp, OutOp, RdAllOp,
@@ -20,7 +21,6 @@ from .tuples import TupleSpaceError
 
 __all__ = ["DsClient", "DsClientError"]
 
-_RETRANSMIT_MS = 1000.0
 _MAX_RETRANSMITS = 30
 
 
@@ -45,13 +45,20 @@ class DsClient:
     def __init__(self, env: Environment, net: Network, node_id: str,
                  replica_ids: List[str], f: int = 1,
                  lease_ms: float = 2000.0,
-                 unordered_reads: bool = False):
+                 unordered_reads: bool = False,
+                 retry: Optional[RetryPolicy] = None):
         self.env = env
         self.net = net
         self.node_id = node_id
         self.replica_ids = list(replica_ids)
         self.f = f
         self.lease_ms = lease_ms
+        # Shared retransmit pacing (repro.core.retry). The default DS
+        # policy is a constant 1000 ms with no jitter — the historical
+        # fixed timer, draw-for-draw — so default runs are unchanged;
+        # chaos recipes can hand in a jittered policy instead.
+        self.retry = retry or DS_RETRY_POLICY
+        self._backoff = self.retry.start(f"dsclient-backoff-{node_id}")
         #: mirror of the replicas' read-only optimization flag: fast
         #: reads need 2f+1 matching replies instead of f+1.
         self.unordered_reads = unordered_reads
@@ -102,7 +109,7 @@ class DsClient:
         retransmits = 0
         self.net.broadcast(self.node_id, self.replica_ids, request)
         while True:
-            timer = self.env.timeout(_RETRANSMIT_MS)
+            timer = self.env.timeout(self._backoff.delay(retransmits))
             outcome = yield self.env.any_of([future, timer])
             if future in outcome:
                 break

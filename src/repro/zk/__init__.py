@@ -6,7 +6,7 @@ sequential nodes, one-shot watches, sessions with expiry, a
 request-processor chain, and a Zab-like atomic broadcast.
 """
 
-from .client import ZkClient
+from .client import SessionState, ZkClient
 from .data_tree import DataTree, Stat, ZNode
 from .ensemble import ZkEnsemble
 from .errors import (BadArgumentsError, BadVersionError, ConnectionLossError,
@@ -15,7 +15,7 @@ from .errors import (BadArgumentsError, BadVersionError, ConnectionLossError,
 from .overlay import TreeOverlay
 from .server import (Forward, InterceptResult, StateEvent, ZkConfig, ZkServer,
                      ZkTimings)
-from .sessions import HeartbeatTracker, Session, SessionTable
+from .sessions import ExpiryClock, HeartbeatTracker, Session, SessionTable
 from .txn import (ClientReply, ClientRequest, CreateOp, CreateTxn, DeleteOp,
                   DeleteTxn, ErrorTxn, ExistsOp, GetChildrenOp, GetDataOp,
                   MultiOp, MultiTxn, Op, RequestMeta, SetDataOp, SetDataTxn,
@@ -24,9 +24,10 @@ from .watches import EventType, WatchEvent, WatchManager
 from .zab import NotLeaderError, Role, ZabConfig, ZabPeer
 
 __all__ = [
-    "ZkClient", "ZkEnsemble", "ZkServer", "ZkConfig", "ZkTimings",
+    "ZkClient", "SessionState", "ZkEnsemble", "ZkServer", "ZkConfig",
+    "ZkTimings",
     "DataTree", "Stat", "ZNode", "TreeOverlay",
-    "SessionTable", "Session", "HeartbeatTracker",
+    "SessionTable", "Session", "HeartbeatTracker", "ExpiryClock",
     "WatchManager", "WatchEvent", "EventType",
     "ZabPeer", "ZabConfig", "Role", "NotLeaderError",
     "Forward", "InterceptResult", "StateEvent",

@@ -7,29 +7,40 @@ same shape as the paper's blocking pseudocode.
 The library handles session establishment, request/reply matching,
 timeouts with fail-over to another replica, watch-event dispatch, and
 keep-alive pings.
+
+Clients built with ``resilient=True`` additionally run a session
+lifecycle state machine (CONNECTING → CONNECTED → SUSPENDED →
+EXPIRED/CLOSED): on connection loss they fail over with the shared
+:mod:`repro.core.retry` backoff, re-establish the session at another
+replica carrying the last-seen zxid, and *re-register their armed
+watches* — comparing the server's state against what was known when
+each watch was armed, and synthesizing the notification for any event
+that fired while the client was cut off. That replaces the lossy
+re-poll hack in :meth:`ZkClient.await_notification` on the reconnect
+path: a resilient client can wait on a watch indefinitely without
+losing events to a crashed replica. Off by default — default-path
+traffic and RNG draws are byte-identical to the non-resilient client.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Dict, List, Optional
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.retry import ZK_RETRY_POLICY, RetryPolicy
 from ..sim import Environment, Event, Network
-from .errors import ConnectionLossError, from_code
+from .data_tree import Stat
+from .errors import ConnectionLossError, SessionExpiredError, from_code
 from .txn import (ClientReply, ClientRequest, CloseSessionOp, CreateOp,
                   CreateSessionOp, DeleteOp, ExistsOp, GetChildrenOp,
                   GetDataOp, MultiOp, Op, PingOp, SetDataOp, SyncOp,
-                  WatchNotification, ZxidClientRequest)
+                  WatchNotification, ZxidClientRequest,
+                  ZxidWatchNotification)
+from .watches import EventType
 
-__all__ = ["ZkClient"]
+__all__ = ["ZkClient", "SessionState"]
 
 _DEFAULT_TIMEOUT_MS = 3000.0
-
-#: ConnectionLoss retry backoff: first retry keeps the historical 50 ms,
-#: then doubles (with jitter) up to the cap so clients bounced by the
-#: same election don't hammer the new leader in lockstep.
-_RETRY_BASE_MS = 50.0
-_RETRY_CAP_MS = 800.0
 
 #: Sentinel delivered to a pending call when its timer expires first.
 _TIMED_OUT = object()
@@ -38,6 +49,20 @@ _TIMED_OUT = object()
 #: replica's liveness — the stand-in for TCP noticing a broken socket.
 _BLOCK_PROBE_MS = 500.0
 
+#: Per-attempt deadline for session re-establishment probes: short, so
+#: a reconnecting client walks the replica list quickly.
+_REARM_TIMEOUT_MS = 1000.0
+
+
+class SessionState(str, enum.Enum):
+    """Client-side session lifecycle (ZooKeeper's state machine)."""
+
+    CONNECTING = "CONNECTING"   # no session yet (or re-connecting it)
+    CONNECTED = "CONNECTED"     # session live, replica answering
+    SUSPENDED = "SUSPENDED"     # replica unreachable; session may survive
+    EXPIRED = "EXPIRED"         # server fenced us; session is gone
+    CLOSED = "CLOSED"           # client closed (or was killed) locally
+
 
 class ZkClient:
     """One client endpoint; owns a session once :meth:`connect` completes."""
@@ -45,7 +70,8 @@ class ZkClient:
     def __init__(self, env: Environment, net: Network, node_id: str,
                  replicas: List[str], replica: Optional[str] = None,
                  session_timeout_ms: float = 2000.0,
-                 track_zxid: bool = False):
+                 track_zxid: bool = False, resilient: bool = False,
+                 retry: Optional[RetryPolicy] = None):
         self.env = env
         self.net = net
         self.node_id = node_id
@@ -59,9 +85,22 @@ class ZkClient:
         #: lagging replica parks our reads instead of serving stale state.
         self.track_zxid = track_zxid
         self.last_zxid = 0
+        self.retry = retry or ZK_RETRY_POLICY
         # String-seeded so backoff jitter is deterministic per client
         # across processes (hash() of a str is salted per interpreter).
-        self._retry_rng = random.Random(f"zkclient-backoff-{node_id}")
+        self._backoff = self.retry.start(f"zkclient-backoff-{node_id}")
+
+        #: Session-resilience machinery (all inert unless ``resilient``).
+        self.resilient = resilient
+        self.state = SessionState.CONNECTING
+        self.session_listeners: List[Callable[[SessionState], None]] = []
+        #: armed-watch bookkeeping for reconnect re-registration:
+        #: ("data", path) -> (existed, mzxid) / ("child", path) -> names.
+        self._watch_meta: Dict[Tuple[str, str], tuple] = {}
+        self._reconnecting = False
+        self._abandoned = False
+        self._ping_xids: set = set()
+        self._last_pong = 0.0
 
         self._xid = 0
         self._pending: Dict[int, Event] = {}
@@ -88,11 +127,27 @@ class ZkClient:
             zxid = msg.zxid
             if zxid > self.last_zxid:
                 self.last_zxid = zxid
+            if self._ping_xids and msg.xid in self._ping_xids:
+                # Tracked keep-alive (resilient clients): the pong is a
+                # liveness signal, and a fenced pong is how a client
+                # with no outstanding calls learns its session expired.
+                self._ping_xids.discard(msg.xid)
+                if msg.ok:
+                    self._last_pong = self.env.now
+                elif msg.error_code == SessionExpiredError.code:
+                    self._set_state(SessionState.EXPIRED)
+                return
             future = self._pending.pop(msg.xid, None)
             if future is not None and not future.triggered:
                 future.succeed(msg)
         elif isinstance(msg, WatchNotification):
             self._observe_zxid(msg.zxid)
+            if self._watch_meta:
+                # The server-side watch is one-shot: it is no longer
+                # armed, so drop it from the reconnect re-arm set.
+                kind = ("child" if msg.event_type ==
+                        EventType.NODE_CHILDREN_CHANGED.value else "data")
+                self._watch_meta.pop((kind, msg.path), None)
             self._dispatch_watch(msg)
 
     def _observe_zxid(self, zxid: int) -> None:
@@ -125,6 +180,9 @@ class ZkClient:
         """Issue one request; retries on another replica after a timeout."""
         if self._closed:
             raise ConnectionLossError("client closed")
+        if self.resilient and self.state is SessionState.EXPIRED \
+                and not isinstance(op, CloseSessionOp):
+            raise SessionExpiredError("session expired")
         self._xid += 1
         xid = self._xid
         session = self.session_id or 0
@@ -154,6 +212,15 @@ class ZkClient:
                     raise ConnectionLossError(
                         f"no replica answered after {attempts} attempts")
                 self._failover()
+                if self.resilient and self.session_id is not None \
+                        and not self._reconnecting:
+                    # Re-establish at the new replica before retrying:
+                    # re-arms our watches there and synthesizes any
+                    # event that fired while the old replica was gone.
+                    try:
+                        yield from self._reestablish()
+                    except ConnectionLossError:
+                        pass    # keep walking the replica list below
                 continue
             if not reply.ok:
                 if reply.error_code == ConnectionLossError.code:
@@ -161,16 +228,21 @@ class ZkClient:
                     # jitter so retry storms don't synchronize during an
                     # election. The first retry keeps the fixed 50 ms
                     # delay; only later (rarer) retries draw jitter.
-                    delay = min(_RETRY_CAP_MS,
-                                _RETRY_BASE_MS * (2 ** loss_retries))
-                    if loss_retries > 0:
-                        delay *= 0.5 + self._retry_rng.random()
+                    if self.resilient:
+                        self._set_state(SessionState.SUSPENDED)
+                    delay = self._backoff.delay(loss_retries)
                     loss_retries += 1
                     yield self.env.timeout(delay)
                     if attempts >= 2 * len(self.replicas) + 1:
                         raise from_code(reply.error_code, reply.error_message)
                     continue
+                if reply.error_code == SessionExpiredError.code:
+                    self._set_state(SessionState.EXPIRED)
                 raise from_code(reply.error_code, reply.error_message)
+            if self.resilient:
+                if self.state is SessionState.SUSPENDED:
+                    self._set_state(SessionState.CONNECTED)
+                self._note_watch(op, reply.value)
             return reply.value
 
     def _await_blocking(self, xid: int, future: Event, request) -> object:
@@ -205,37 +277,278 @@ class ZkClient:
 
     # -- session lifecycle -------------------------------------------------
 
+    def _set_state(self, state: SessionState) -> None:
+        if state is self.state:
+            return
+        self.state = state
+        for listener in list(self.session_listeners):
+            listener(state)
+
     def connect(self, client_label: str = ""):
         """Establish a session; starts the keep-alive ping loop."""
+        self._set_state(SessionState.CONNECTING)
         session_id = yield from self._call(
             CreateSessionOp(self.session_timeout_ms,
                             client_label or self.node_id))
         self.session_id = session_id
+        self._last_pong = self.env.now
+        self._set_state(SessionState.CONNECTED)
         self.env.process(self._ping_loop())
         return session_id
 
     def close(self):
-        """Close the session (server reaps ephemerals)."""
+        """Close the session (server reaps ephemerals).
+
+        Tolerates ``SESSION_EXPIRED``: if the leader expired the session
+        before the close arrived (or a retried close raced the first
+        copy), the server already reaped everything this close would —
+        the session is just as gone either way.
+        """
         try:
             yield from self._call(CloseSessionOp())
+        except SessionExpiredError:
+            pass
         finally:
             self._closed = True
+            if self.state is not SessionState.EXPIRED:
+                self._set_state(SessionState.CLOSED)
         return True
 
     def kill(self) -> None:
         """Abrupt client death (no session close) for failure-injection tests."""
         self._closed = True
+        self._set_state(SessionState.CLOSED)
         self.net.crash(self.node_id)
+
+    def abandon(self) -> None:
+        """Stop keep-alive pings while leaving the client usable.
+
+        Models a client whose liveness signal is gone (stalled process,
+        dead NAT entry) but whose in-flight requests may still arrive:
+        the leader will expire the session and reap its ephemerals, and
+        any later call from this client must be *fenced* with
+        ``SESSION_EXPIRED`` — never silently applied.
+        """
+        self._abandoned = True
 
     def _ping_loop(self):
         interval = self.session_timeout_ms / 3.0
-        while not self._closed:
+        if not self.resilient:
+            while not self._closed and not self._abandoned:
+                # Keep-alives must survive the connected replica's death
+                # even without the resilient state machine: with expiry
+                # fencing on, a session silently starved of pings would
+                # be fenced out from under a client that is merely
+                # mid-failover on its request path.
+                if self.net.is_crashed(self.replica):
+                    self._failover()
+                self._xid += 1
+                # Fire-and-forget: the reply (if any) finds no pending
+                # future.
+                self.net.send(self.node_id, self.replica,
+                              ClientRequest(self.session_id or 0, self._xid,
+                                            PingOp()))
+                yield self.env.timeout(interval)
+            return
+        while (not self._closed and not self._abandoned
+                and self.state is not SessionState.EXPIRED):
             self._xid += 1
-            # Fire-and-forget: the reply (if any) finds no pending future.
+            xid = self._xid
+            # Tracked ping: the pong timestamps replica liveness, so a
+            # client parked on a watch (no outstanding request whose
+            # timeout would notice) still detects its replica's death
+            # and reconnects. The set is pruned so lost pings can't
+            # grow it without bound.
+            self._ping_xids.add(xid)
+            if len(self._ping_xids) > 8:
+                self._ping_xids = {x for x in self._ping_xids if x > xid - 64}
             self.net.send(self.node_id, self.replica,
-                          ClientRequest(self.session_id or 0, self._xid,
-                                        PingOp()))
+                          ClientRequest(self.session_id or 0, xid, PingOp()))
             yield self.env.timeout(interval)
+            if self._closed or self._abandoned:
+                return
+            if (self.env.now - self._last_pong > 2.0 * interval
+                    and not self._reconnecting):
+                self._failover()
+                try:
+                    yield from self._reestablish()
+                except ConnectionLossError:
+                    continue    # all replicas dark; retry next interval
+                except SessionExpiredError:
+                    return
+
+    # -- session re-establishment (resilient clients) ----------------------
+
+    def _reestablish(self):
+        """Re-bind the session to the current replica after a suspicion.
+
+        Walks the replica list with the shared backoff until one
+        answers, re-arming every watch this client had armed and
+        synthesizing notifications for events missed while cut off.
+        Raises ``SessionExpiredError`` if a server fences us (the
+        session is gone — EXPIRED is terminal), or
+        ``ConnectionLossError`` when no replica answers.
+        """
+        if self._reconnecting or self.session_id is None or self._closed:
+            return
+        self._reconnecting = True
+        self._set_state(SessionState.SUSPENDED)
+        try:
+            hops = 0
+            while True:
+                ok = yield from self._rearm_watches()
+                if ok:
+                    break
+                hops += 1
+                if hops > 2 * len(self.replicas):
+                    raise ConnectionLossError(
+                        "session re-establishment: no replica reachable")
+                yield self.env.timeout(self._backoff.delay(hops - 1))
+                self._failover()
+            self._last_pong = self.env.now
+            self._set_state(SessionState.CONNECTED)
+        finally:
+            self._reconnecting = False
+
+    def _rearm_watches(self):
+        """One watch re-registration pass at the current replica.
+
+        Returns False when the replica did not answer (caller fails
+        over). For every watch armed before the disconnect, re-issues
+        the arming read and compares the server's state against what
+        was known at arm time — existence and mzxid for data watches,
+        the child-name set for child watches. Any difference means the
+        one-shot notification fired while we were cut off, so the
+        equivalent event is synthesized locally; otherwise the watch is
+        re-armed server-side with refreshed knowledge.
+        """
+        for (kind, path), known in sorted(self._watch_meta.items()):
+            if kind == "data":
+                op: Op = ExistsOp(path, watch=True)
+            else:
+                op = GetChildrenOp(path, watch=True)
+            reply = yield from self._probe(op)
+            if reply is _TIMED_OUT:
+                return False
+            if not reply.ok:
+                if reply.error_code == SessionExpiredError.code:
+                    self._set_state(SessionState.EXPIRED)
+                    raise from_code(reply.error_code, reply.error_message)
+                if reply.error_code == ConnectionLossError.code:
+                    return False
+                if kind == "child":
+                    # Parent deleted in the gap: its membership changed.
+                    self._watch_meta.pop((kind, path), None)
+                    self._synthesize(EventType.NODE_CHILDREN_CHANGED, path,
+                                     reply.zxid)
+                continue
+            self._compare_rearmed(kind, path, known, reply)
+        if self._watch_meta:
+            return True
+        # No watches to re-arm: a ping round-trip both confirms the
+        # replica answers and re-points our session's notification
+        # routing at it (fenced pong => the session is gone).
+        reply = yield from self._probe(PingOp())
+        if reply is _TIMED_OUT:
+            return False
+        if not reply.ok:
+            if reply.error_code == SessionExpiredError.code:
+                self._set_state(SessionState.EXPIRED)
+                raise from_code(reply.error_code, reply.error_message)
+            return False
+        return True
+
+    def _probe(self, op: Op, timeout_ms: float = _REARM_TIMEOUT_MS):
+        """One single-attempt raw RPC to the current replica (no retry)."""
+        self._xid += 1
+        xid = self._xid
+        future = self.env.event()
+        self._pending[xid] = future
+        session = self.session_id or 0
+        if self.track_zxid:
+            request = ZxidClientRequest(session, xid, op,
+                                        last_zxid=self.last_zxid)
+        else:
+            request = ClientRequest(session, xid, op)
+        self.net.send(self.node_id, self.replica, request)
+        self.env.defer(timeout_ms, self._expire, xid, future)
+        reply = yield future
+        return reply
+
+    def _compare_rearmed(self, kind: str, path: str, known: tuple,
+                         reply) -> None:
+        """Diff the re-armed read against arm-time knowledge."""
+        value = reply.value
+        if kind == "data":
+            existed, mzxid = known
+            if value is None:
+                if existed:
+                    self._watch_meta.pop((kind, path), None)
+                    self._synthesize(EventType.NODE_DELETED, path,
+                                     reply.zxid)
+                else:
+                    self._watch_meta[(kind, path)] = (False, 0)
+            elif isinstance(value, Stat):
+                if not existed:
+                    self._watch_meta.pop((kind, path), None)
+                    self._synthesize(EventType.NODE_CREATED, path,
+                                     reply.zxid)
+                elif value.mzxid > mzxid:
+                    self._watch_meta.pop((kind, path), None)
+                    self._synthesize(EventType.NODE_DATA_CHANGED, path,
+                                     reply.zxid)
+                else:
+                    self._watch_meta[(kind, path)] = (True, value.mzxid)
+            else:
+                # An operation extension consumed the re-arm (e.g. an
+                # ('unblocked', path) payload): no server-side watch was
+                # armed, and the path the client was waiting on exists.
+                self._watch_meta.pop((kind, path), None)
+                if not existed:
+                    self._synthesize(EventType.NODE_CREATED, path,
+                                     reply.zxid)
+        else:
+            if not isinstance(value, (list, tuple)):
+                self._watch_meta.pop((kind, path), None)
+                return
+            names = tuple(value)
+            if names != known:
+                self._watch_meta.pop((kind, path), None)
+                self._synthesize(EventType.NODE_CHILDREN_CHANGED, path,
+                                 reply.zxid)
+            else:
+                self._watch_meta[(kind, path)] = names
+
+    def _synthesize(self, event_type: EventType, path: str,
+                    zxid: int) -> None:
+        """Deliver a locally-manufactured notification for a missed event."""
+        self._observe_zxid(zxid)
+        session = self.session_id or 0
+        if zxid:
+            note: WatchNotification = ZxidWatchNotification(
+                session, event_type.value, path, zxid=zxid)
+        else:
+            note = WatchNotification(session, event_type.value, path)
+        self._dispatch_watch(note)
+
+    def _note_watch(self, op: Op, value) -> None:
+        """Record arm-time knowledge for a read that set a watch.
+
+        Values that are not plain read results (an operation extension
+        consumed the call) are skipped: no server-side watch was armed.
+        """
+        if isinstance(op, ExistsOp) and op.watch:
+            if value is None:
+                self._watch_meta[("data", op.path)] = (False, 0)
+            elif isinstance(value, Stat):
+                self._watch_meta[("data", op.path)] = (True, value.mzxid)
+        elif isinstance(op, GetDataOp) and op.watch:
+            if (isinstance(value, tuple) and len(value) == 2
+                    and isinstance(value[1], Stat)):
+                self._watch_meta[("data", op.path)] = (True, value[1].mzxid)
+        elif isinstance(op, GetChildrenOp) and op.watch:
+            if isinstance(value, (list, tuple)):
+                self._watch_meta[("child", op.path)] = tuple(value)
 
     # -- ZooKeeper API -------------------------------------------------------
 
@@ -303,21 +616,54 @@ class ZkClient:
                 del self._event_waiters[path]
 
     def await_notification(self, path: str, waiter: Event,
-                           repoll_ms: float = 2 * _BLOCK_PROBE_MS):
-        """Wait for ``waiter`` with a slow re-poll safety net.
+                           repoll_ms: float = 2 * _BLOCK_PROBE_MS,
+                           deadline: Optional[Event] = None):
+        """Wait for ``waiter``; how depends on the client's resilience.
 
-        A watch notification raised while this client's replica was
-        crashed or cut off is lost for good, so waiting on the watch
-        alone can hang forever. Returns the notification when it
-        arrives; returns None after ``repoll_ms`` so the caller can
-        re-check state and re-arm (real clients get the same effect by
-        re-registering watches on reconnect).
+        ``deadline`` (resilient path only) bounds the wait: when that
+        event fires first, None is returned — the watch stays armed
+        server-side, so callers must tolerate a later notification.
+
+        Non-resilient path — the historical re-poll safety net: a watch
+        notification raised while this client's replica was crashed or
+        cut off is lost for good, so waiting on the watch alone could
+        hang forever. Returns the notification when it arrives; returns
+        None after ``repoll_ms`` so the caller can re-check state and
+        re-arm.
+
+        Resilient path — no re-poll: reconnect re-arms the watch set
+        and synthesizes missed events, so the watch alone is safe to
+        wait on. The periodic probe only checks replica health (a
+        crashed replica can't push notifications) and triggers
+        re-establishment; None is returned only if the session expires
+        or the client closes mid-wait.
         """
-        probe = self.env.timeout(repoll_ms)
-        yield self.env.any_of([waiter, probe])
-        if waiter.triggered:
-            return waiter.value
-        return None
+        if not self.resilient:
+            probe = self.env.timeout(repoll_ms)
+            yield self.env.any_of([waiter, probe])
+            if waiter.triggered:
+                return waiter.value
+            return None
+        while True:
+            probe = self.env.timeout(_BLOCK_PROBE_MS)
+            events = [waiter, probe]
+            if deadline is not None:
+                events.append(deadline)
+            yield self.env.any_of(events)
+            if waiter.triggered:
+                return waiter.value
+            if deadline is not None and deadline.triggered:
+                return None
+            if self.state is SessionState.EXPIRED or self._closed:
+                return None
+            if self.net.is_crashed(self.replica) and not self._reconnecting:
+                self._failover()
+                try:
+                    yield from self._reestablish()
+                except ConnectionLossError:
+                    continue
+                except SessionExpiredError:
+                    return None
 
     def block(self, path: str):
         """Wait until ``path`` exists (Table 2's ``block`` primitive).

@@ -90,8 +90,15 @@ class ZkEnsemble:
 
     def client(self, node_id: Optional[str] = None,
                session_timeout_ms: float = 2000.0,
-               replica: Optional[str] = None) -> ZkClient:
-        """Create a client; connection replica assigned round-robin."""
+               replica: Optional[str] = None,
+               resilient: bool = False) -> ZkClient:
+        """Create a client; connection replica assigned round-robin.
+
+        ``resilient=True`` enables the client-side session state
+        machine: automatic failover with backoff, session
+        re-establishment, and watch re-registration with missed-event
+        synthesis (see :class:`~repro.zk.client.SessionState`).
+        """
         if not self._started:
             raise RuntimeError("start() the ensemble before creating clients")
         if node_id is None:
@@ -102,7 +109,8 @@ class ZkEnsemble:
         return self.client_class(self.env, self.net, node_id,
                                  self.all_ids, replica=replica,
                                  session_timeout_ms=session_timeout_ms,
-                                 track_zxid=self.config.local_reads)
+                                 track_zxid=self.config.local_reads,
+                                 resilient=resilient)
 
     def trees_consistent(self) -> bool:
         """True when every live replica holds the same tree (test helper)."""

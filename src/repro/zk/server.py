@@ -45,9 +45,10 @@ from bisect import bisect_right
 
 from ..sim import Environment, FifoResource, Network
 from .data_tree import DataTree, split_path
-from .errors import ConnectionLossError, ZkError, from_code, to_code
+from .errors import (ConnectionLossError, SessionExpiredError, ZkError,
+                     from_code, to_code)
 from .overlay import TreeOverlay
-from .sessions import ConsistencyTracker, HeartbeatTracker, SessionTable
+from .sessions import ConsistencyTracker, ExpiryClock, SessionTable
 from .txn import (ClientReply, ClientRequest, CloseSessionOp, CloseSessionTxn,
                   CreateOp, CreateSessionOp, CreateSessionTxn, CreateTxn,
                   DeleteOp, DeleteTxn, ErrorTxn, ExistsOp, GetChildrenOp,
@@ -85,6 +86,14 @@ class ZkConfig:
     #: park reads until they catch up. Off by default — the figure
     #: benchmarks reproduce the seed bit-for-bit with this off.
     local_reads: bool = False
+    #: Expiry fencing: a request stamped with a session id whose close
+    #: has been *applied* (or, at the leader, proposed) is rejected with
+    #: ``SESSION_EXPIRED`` instead of silently executed. Fencing keys on
+    #: the recorded closed-set, never on mere table absence, so a
+    #: lagging replica that has not applied a session's creation yet
+    #: never fences a healthy client. On by default: the default figure
+    #: workloads never close sessions, so their traffic is unchanged.
+    expiry_fencing: bool = True
 
 
 @dataclass
@@ -140,7 +149,9 @@ class ZkServer:
         self.tree = DataTree()
         self.sessions = SessionTable()
         self.watches = WatchManager()
-        self.heartbeats = HeartbeatTracker()
+        # Bucketed expiry tracking: a sweep visits only due buckets
+        # instead of scanning every session (ZooKeeper's ExpiryQueue).
+        self.heartbeats = ExpiryClock(tick_ms=self.config.expiry_sweep_ms)
         self.read_floors = ConsistencyTracker()
         self.cpu = FifoResource(env, name=f"{node_id}.cpu")
 
@@ -160,6 +171,20 @@ class ZkServer:
         #: re-executing it would double-apply non-idempotent extension
         #: ops (see _prep).
         self._proposed_xids: Dict[Tuple[str, int], int] = {}
+        #: leader-only: sessions whose CloseSessionTxn this leadership
+        #: has *proposed* but possibly not yet applied. Closes the
+        #: propose→apply fencing window (no update for the session may
+        #: land after its close in zxid order) and makes the expiry
+        #: sweep exactly-once (a slow commit must not be re-proposed).
+        #: Reset on role change: an uncommitted close dies with the old
+        #: leadership, a committed one is visible via the session table.
+        self._closing_sessions: set = set()
+        #: expiry clock paused (crashed or not leading): the first
+        #: healthy sweep after a pause *rebases* every session instead
+        #: of expiring it, so a long election cannot mass-expire clients
+        #: whose pings had no leader to reach. Starts False so the
+        #: bootstrap leader's very first sweeps behave exactly as before.
+        self._expiry_paused = False
 
         # An observer's Zab endpoint lists the voting replicas as its
         # peers but never votes or acks; a voter additionally knows the
@@ -241,8 +266,30 @@ class ZkServer:
 
     # -- client requests ---------------------------------------------------
 
+    def _fence_expired(self, session_id: int, op: Op) -> bool:
+        """True when the request must be rejected with ``SESSION_EXPIRED``.
+
+        Fencing keys on the *recorded* closed-set (plus, at the leader,
+        the proposed-but-unapplied closing set) — never on mere table
+        absence, which on a lagging replica just means the session's
+        creation has not applied yet. ``CloseSessionOp`` is exempt so a
+        client retrying its own close still gets an answer.
+        """
+        if not self.config.expiry_fencing or not session_id:
+            return False
+        if isinstance(op, CloseSessionOp):
+            return False
+        if self.sessions.is_closed(session_id):
+            return True
+        return self.zab.is_leader and session_id in self._closing_sessions
+
     def _on_client_request(self, src: str, req: ClientRequest) -> None:
         op = req.op
+        if self._fence_expired(req.session_id, op):
+            self._reply(src, ClientReply(
+                req.xid, False, None, SessionExpiredError.code,
+                f"session {req.session_id} expired"))
+            return
         if isinstance(op, PingOp):
             self._on_ping(src, req)
             return
@@ -284,6 +331,10 @@ class ZkServer:
             # Stale forward (leadership moved): bounce an error so the
             # client retries against the new topology.
             self._reply_error(meta, ConnectionLossError("not the leader"))
+            return
+        if self._fence_expired(meta.session_id, fwd.request.op):
+            self._reply_error(meta, SessionExpiredError(
+                f"session {meta.session_id} expired"))
             return
         if isinstance(fwd.request.op, SyncOp):
             self._answer_sync(meta)
@@ -417,6 +468,15 @@ class ZkServer:
             self._answer_duplicate(meta, proposed)
             return
 
+        # The session may have expired between routing and this prep
+        # slot (the expiry sweep runs between CPU grants): fence here
+        # too, so no update for a closing session enters the pipeline
+        # after its CloseSessionTxn.
+        if self._fence_expired(meta.session_id, op):
+            self._reply_error(meta, SessionExpiredError(
+                f"session {meta.session_id} expired"))
+            return
+
         if self.op_interceptor is not None:
             try:
                 intercepted = self.op_interceptor(meta, op, self)
@@ -538,6 +598,14 @@ class ZkServer:
         if isinstance(op, CreateSessionOp):
             return CreateSessionTxn(0, op.timeout_ms, op.client_id)
         if isinstance(op, CloseSessionOp):
+            # Exactly-once close: a close raced by the expiry sweep (or
+            # a duplicate from a new connection) must not propose a
+            # second CloseSessionTxn.
+            if (meta.session_id in self._closing_sessions
+                    or meta.session_id not in self.sessions):
+                raise SessionExpiredError(
+                    f"session {meta.session_id} already closed")
+            self._closing_sessions.add(meta.session_id)
             return CloseSessionTxn(meta.session_id)
         raise ZkError(f"unknown update operation: {op!r}")
 
@@ -565,9 +633,13 @@ class ZkServer:
                 session = self.sessions.get(session_id)
                 self.heartbeats.track(session_id, session.timeout_ms,
                                       self.env.now)
+            # Uncommitted closes died with the old leadership; committed
+            # ones are visible through the session table.
+            self._closing_sessions = set()
         else:
             self._spec_tree = None
             self._proposed_xids = {}
+            self._closing_sessions = set()
 
     # -- final stage (every replica) ----------------------------------------
 
@@ -612,6 +684,12 @@ class ZkServer:
             return (None, error, events)
 
     def _close_session(self, session_id: int, events: List[StateEvent]) -> None:
+        if session_id not in self.sessions:
+            # Duplicate CloseSessionTxn (a pre-guard leader's expiry
+            # sweep racing a client close): the reap already happened,
+            # applying again must be a no-op so ephemerals are deleted
+            # exactly once.
+            return
         self.sessions.close(session_id)
         self.heartbeats.forget(session_id)
         self.read_floors.forget(session_id)
@@ -712,10 +790,21 @@ class ZkServer:
         while True:
             yield self.env.timeout(self.config.expiry_sweep_ms)
             if not self._alive or not self.zab.is_leader:
+                self._expiry_paused = True
+                continue
+            if self._expiry_paused:
+                # First healthy sweep after a crash or a spell out of
+                # leadership: rebase instead of expiring, so clients
+                # whose pings had no leader to reach during the election
+                # window get one fresh timeout to re-establish.
+                self.heartbeats.rebase(self.env.now)
+                self._expiry_paused = False
                 continue
             for session_id in self.heartbeats.expired(self.env.now):
                 self.heartbeats.forget(session_id)
-                if session_id in self.sessions:
+                if (session_id in self.sessions
+                        and session_id not in self._closing_sessions):
+                    self._closing_sessions.add(session_id)
                     # Spec first: _apply_to_spec stamps with the zxid
                     # the propose() right after it will assign.
                     self._apply_to_spec(CloseSessionTxn(session_id))

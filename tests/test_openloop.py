@@ -26,6 +26,8 @@ def test_workload_defaults_validate():
     dict(clients=0),
     dict(burst_fraction=1.0),
     dict(arrival="bursty", burst_factor=20.0, burst_fraction=0.2),
+    dict(churn_per_s=-1.0),
+    dict(watch_fanout=-1),
 ])
 def test_workload_rejects_bad_specs(bad):
     with pytest.raises(ValueError):
@@ -92,6 +94,37 @@ def test_openloop_latency_includes_queueing_delay():
         warmup_ms=50.0, measure_ms=200.0)
     assert loaded.extra["max_backlog"] > 10
     assert loaded.mean_latency_ms > 10 * unloaded.mean_latency_ms
+
+
+# -- session churn / watch fan-out riders ------------------------------------
+
+def test_openloop_churn_and_watch_extras():
+    w = Workload(churn_per_s=40.0, watch_fanout=4, **SMALL)
+    result = run_openloop_workload("zk", w, warmup_ms=50.0,
+                                   measure_ms=400.0)
+    assert result.extra["churn_per_s"] == 40.0
+    assert result.extra["churn_connects"] > 0
+    assert result.extra["churn_closed"] > 0
+    assert result.extra["watch_fanout"] == 4.0
+    assert result.extra["watch_notifications"] > 0
+    # The op stream still flows under churn + fan-out.
+    assert result.completed_ops > 0
+
+
+def test_openloop_extras_absent_when_knobs_off():
+    result = run_openloop_workload("zk", Workload(**SMALL),
+                                   warmup_ms=50.0, measure_ms=200.0)
+    for key in ("churn_per_s", "churn_connects", "churn_closed",
+                "churn_abandoned", "watch_fanout", "watch_notifications"):
+        assert key not in result.extra
+
+
+@pytest.mark.parametrize("kind", ("ds", "eds"))
+def test_openloop_session_knobs_require_zk_family(kind):
+    with pytest.raises(ValueError):
+        run_openloop_workload(kind, Workload(churn_per_s=5.0, **SMALL))
+    with pytest.raises(ValueError):
+        run_openloop_workload(kind, Workload(watch_fanout=2, **SMALL))
 
 
 def test_openloop_identical_across_kernels(monkeypatch):
