@@ -29,11 +29,12 @@ Usage::
 
 from __future__ import annotations
 
+import math
 import random
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..recipes import ensure_object
 from .systems import make_coords, make_ensemble, run_all
@@ -76,6 +77,21 @@ class Workload:
     #: watcher fleet pinned to the hottest key: every write to it fans
     #: out this many notifications. 0 = off; zk family only.
     watch_fanout: int = 0
+    #: lease-protected client caching (``ZkConfig.leases`` +
+    #: ``cached_reads=True`` sessions): hot reads served sub-RTT from
+    #: client memory. Off = the historical plain read path; zk family
+    #: only.
+    cached_reads: bool = False
+    #: chain-replicated hot-key tier: promoted keys route to a
+    #: 3-member chain (writes at head, reads at tail) with the
+    #: coordination tree as control plane. Off by default; zk family
+    #: only.
+    hot_chain: bool = False
+    #: Zipf exponent for the *write* key choice; ``None`` reuses
+    #: ``skew``. Read-hot configuration data is rarely also write-hot —
+    #: ``zipf_hot`` sets 0.0 (uniform writes) so leases on hot keys
+    #: survive long enough to matter.
+    write_skew: Optional[float] = None
 
     @property
     def rate_ops_per_ms(self) -> float:
@@ -138,15 +154,22 @@ def run_openloop_workload(
     """
     workload.validate()
     if kind not in ("zk", "ezk") and \
-            (workload.churn_per_s or workload.watch_fanout):
+            (workload.churn_per_s or workload.watch_fanout
+             or workload.cached_reads or workload.hot_chain):
         raise ValueError(
-            "churn_per_s / watch_fanout require the zk family "
-            "(sessions and watches are ZooKeeper machinery)")
+            "churn_per_s / watch_fanout / cached_reads / hot_chain require "
+            "the zk family (sessions, watches and leases are ZooKeeper "
+            "machinery)")
     kwargs = {}
     if kind in ("zk", "ezk"):
-        if local_reads:
+        if local_reads or workload.cached_reads:
             from ..zk.server import ZkConfig
-            kwargs["config"] = ZkConfig(local_reads=True)
+            leases = None
+            if workload.cached_reads:
+                from ..zk.leases import LeaseConfig
+                leases = LeaseConfig()
+            kwargs["config"] = ZkConfig(local_reads=local_reads,
+                                        leases=leases)
         if n_observers:
             kwargs["n_observers"] = n_observers
     elif local_reads:
@@ -154,7 +177,9 @@ def run_openloop_workload(
         kwargs["config"] = DsConfig(unordered_reads=True)
     ensemble = make_ensemble(kind, seed=seed, **kwargs)
     env = ensemble.env
-    coords, raw = make_coords(ensemble, kind, sessions)
+    client_kwargs = {"cached_reads": True} if workload.cached_reads else None
+    coords, raw = make_coords(ensemble, kind, sessions,
+                              client_kwargs=client_kwargs)
     payload = b"x" * object_bytes
     paths = [f"/ol{key}" for key in range(workload.keys)]
 
@@ -167,6 +192,11 @@ def run_openloop_workload(
     window = _Window(ensemble, raw, warmup_ms, measure_ms)
     rng = random.Random(f"openloop-{kind}-{seed}")
     cdf = _zipf_cdf(workload.keys, workload.skew) if workload.skew else None
+    if workload.write_skew is None:
+        write_cdf = cdf
+    else:
+        write_cdf = _zipf_cdf(workload.keys, workload.write_skew) \
+            if workload.write_skew else None
     read_fraction = workload.mix.get("read", 0.0)
     rate = workload.rate_ops_per_ms
 
@@ -174,7 +204,12 @@ def run_openloop_workload(
     pending: deque = deque()
     #: parked executor slots waiting for work.
     idle: deque = deque()
-    stats = {"arrivals": 0, "executed": 0, "max_backlog": 0}
+    stats = {"arrivals": 0, "executed": 0, "max_backlog": 0,
+             "reads": 0, "writes": 0}
+    #: arrival-to-completion read latencies inside the measure window
+    #: (the sub-RTT cache headline is a *read* percentile, and mixing
+    #: revocation-delayed writes into one pool would bury it).
+    read_lat: List[float] = []
 
     def next_gap() -> float:
         if workload.arrival == "uniform":
@@ -193,11 +228,25 @@ def run_openloop_workload(
             yield env.timeout(next_gap())
             if not window.open_:
                 return
-            key = bisect_right(cdf, rng.random()) if cdf else \
-                rng.randrange(workload.keys)
+            # Draw order (key draw, then op coin) is part of the
+            # recorded baselines: keep it even though the op now picks
+            # which cdf interprets the key draw.
+            if cdf is not None:
+                u, base_key = rng.random(), None
+            else:
+                u, base_key = None, rng.randrange(workload.keys)
+            is_read = rng.random() < read_fraction
+            pick = cdf if is_read else write_cdf
+            if pick is not None:
+                key = bisect_right(
+                    pick, u if u is not None
+                    else (base_key + 0.5) / workload.keys)
+            else:
+                key = base_key if base_key is not None \
+                    else int(u * workload.keys)
             if key >= workload.keys:  # guard the cdf[-1] == 1.0 edge
                 key = workload.keys - 1
-            request = (env.now, rng.random() < read_fraction, paths[key])
+            request = (env.now, is_read, paths[key])
             pending.append(request)
             stats["arrivals"] += 1
             if len(pending) > stats["max_backlog"]:
@@ -205,7 +254,7 @@ def run_openloop_workload(
             if idle:
                 idle.popleft().succeed()
 
-    def executor(coord):
+    def executor(coord, router=None):
         while True:
             while not pending:
                 if not window.open_:
@@ -215,13 +264,25 @@ def run_openloop_workload(
                 yield slot
             arrived, is_read, path = pending.popleft()
             if is_read:
-                yield from coord.read(path)
+                if router is not None:
+                    yield from router.read(path)
+                else:
+                    yield from coord.read(path)
             else:
-                yield from coord.update(path, payload)
+                if router is not None:
+                    yield from router.update(path, payload)
+                else:
+                    yield from coord.update(path, payload)
             stats["executed"] += 1
             # Latency runs from *arrival*: open-loop queueing delay is
             # part of what the population experiences.
             window.record(arrived)
+            if env.now >= window.start and env.now <= window.end:
+                if is_read:
+                    stats["reads"] += 1
+                    read_lat.append(env.now - arrived)
+                else:
+                    stats["writes"] += 1
 
     # Session churn + watch fan-out riders (zk family, flag-gated).
     # Their RNG is a separate stream and their processes exist only
@@ -286,14 +347,39 @@ def run_openloop_workload(
             if note is not None:
                 side_stats["watch_notifications"] += 1
 
+    # Hot-chain tier: 3 chain members, one controller (own session),
+    # and one router per executor session, all flag-gated.
+    routers: list = []
+    controller = None
+    if workload.hot_chain:
+        from ..zk.hotchain import (ChainNode, HotChainConfig,
+                                   HotChainController, HotChainRouter)
+        chain_config = HotChainConfig()
+        chain_nodes = [ChainNode(env, ensemble.net, f"olchain{i}")
+                       for i in range(3)]
+        ctl_client = ensemble.client(node_id="olchainctl",
+                                     session_timeout_ms=8000.0)
+
+        def boot_controller():
+            yield from ctl_client.connect()
+            ctl = HotChainController(env, ensemble.net, ctl_client,
+                                     chain_nodes, chain_config)
+            yield from ctl.start()
+            return ctl
+
+        controller = run_all(ensemble, boot_controller())[0]
+        routers = [HotChainRouter(client, controller.node_id, chain_config)
+                   for client in raw]
+
     env.process(generator())
     if workload.churn_per_s:
         env.process(churner())
     for i in range(workload.watch_fanout):
         env.process(watcher(i))
-    for coord in coords:
+    for index, coord in enumerate(coords):
+        router = routers[index] if routers else None
         for _slot in range(inflight_per_session):
-            env.process(executor(coord))
+            env.process(executor(coord, router))
     window.run()
 
     result = window.result(kind, workload.clients)
@@ -319,5 +405,42 @@ def run_openloop_workload(
             "watch_fanout": float(workload.watch_fanout),
             "watch_notifications": float(
                 side_stats["watch_notifications"]),
+        })
+    measured_s = measure_ms / 1000.0
+    read_lat.sort()
+
+    def read_pct(p: float) -> float:
+        if not read_lat:
+            return float("nan")
+        rank = max(1, math.ceil(p / 100.0 * len(read_lat)))
+        return read_lat[rank - 1]
+
+    result.extra.update({
+        "read_ops_per_s": stats["reads"] / measured_s,
+        "write_ops_per_s": stats["writes"] / measured_s,
+        "read_p50_ms": read_pct(50.0),
+        "read_p99_ms": read_pct(99.0),
+    })
+    if workload.cached_reads:
+        hits = sum(c._cache.stats["hits"] for c in raw)
+        misses = sum(c._cache.stats["misses"] for c in raw)
+        result.extra.update({
+            "cache_hits": float(hits),
+            "cache_misses": float(misses),
+            "cache_hit_rate": hits / (hits + misses)
+            if hits + misses else 0.0,
+            "lease_revokes": float(
+                sum(c._cache.stats["revokes"] for c in raw)),
+        })
+    if workload.hot_chain and controller is not None:
+        result.extra.update({
+            "chain_promotions": float(controller.stats["promotions"]),
+            "chain_demotions": float(controller.stats["demotions"]),
+            "chain_reads": float(
+                sum(r.stats["chain_reads"] for r in routers)),
+            "chain_writes": float(
+                sum(r.stats["chain_writes"] for r in routers)),
+            "chain_fallbacks": float(
+                sum(r.stats["fallbacks"] for r in routers)),
         })
     return result

@@ -83,17 +83,21 @@ def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3):
 
 
 def make_coords(ensemble, kind: str, n: int,
-                replica: Optional[str] = None
+                replica: Optional[str] = None,
+                client_kwargs: Optional[dict] = None
                 ) -> Tuple[List[CoordClient], list]:
     """``n`` connected abstract clients plus the raw client objects.
 
     ``replica`` pins every client to one replica (ZK-family only) —
     the read-scaling benchmark uses it for its leader-only baseline.
+    ``client_kwargs`` is forwarded to ``ensemble.client`` (e.g.
+    ``{"cached_reads": True}`` for the lease-cache benchmarks).
     """
+    extra = client_kwargs or {}
     if replica is not None:
-        raw = [ensemble.client(replica=replica) for _ in range(n)]
+        raw = [ensemble.client(replica=replica, **extra) for _ in range(n)]
     else:
-        raw = [ensemble.client() for _ in range(n)]
+        raw = [ensemble.client(**extra) for _ in range(n)]
     if kind in ("zk", "ezk"):
         def connect_all():
             for client in raw:

@@ -44,15 +44,22 @@ from ..sim import Environment, default_kernel, kernel_backend
 from .workload import run_queue_workload, run_read_heavy_workload
 
 __all__ = ["measure_queue", "measure_read_heavy", "measure_kernel",
-           "measure_openloop", "run_bench", "run_read_bench",
-           "run_kernel_bench", "run_openloop_bench", "run_guard", "main"]
+           "measure_openloop", "measure_zipf_hot", "run_bench",
+           "run_read_bench", "run_kernel_bench", "run_openloop_bench",
+           "run_zipf_hot_bench", "run_guard", "main"]
 
 DEFAULT_OUTPUT = Path("BENCH_core.json")
 CLIENTS = 32
 MEASURE_MS = 500.0
 SYSTEMS = ("zk", "ezk")
-WORKLOADS = ("fig8-queue", "read-heavy", "kernel", "openloop")
+WORKLOADS = ("fig8-queue", "read-heavy", "kernel", "openloop", "zipf-hot")
 READ_OBSERVERS = 2
+#: zipf-hot saturation pair: enough offered load that the 3-replica
+#: local-reads read path is the bottleneck in both cells, few wide
+#: sessions so per-session hit rate is representative of a client that
+#: actually rereads its hot keys.
+ZIPF_HOT_SKEW = 1.2
+ZIPF_HOT_MIX = {"read": 0.95, "write": 0.05}
 #: --guard: fail when events/wall-s drops below this fraction of the
 #: recorded row.
 GUARD_THRESHOLD = 0.30
@@ -253,6 +260,85 @@ def run_openloop_bench(repeat: int = 2) -> Dict[str, Dict[str, float]]:
     return {kind: measure_openloop(kind, repeat=repeat) for kind in SYSTEMS}
 
 
+def measure_zipf_hot(kind: str, cached: bool, skew: float = ZIPF_HOT_SKEW,
+                     saturate: bool = True, repeat: int = 1,
+                     measure_ms: float = 400.0) -> Dict[str, float]:
+    """One zipf-hot cell: Zipf(skew) 95/5 reads, uniform write keys.
+
+    ``saturate=True`` offers well past the 3-replica local-reads read
+    ceiling so achieved *read throughput* is the capacity headline;
+    ``saturate=False`` offers a light load so the read p50 isolates the
+    per-request path (the sub-RTT cache-hit claim).
+    """
+    from .openloop import Workload, run_openloop_workload
+    if saturate:
+        clients, ops, sessions, inflight = 550_000, 1.0, 4, 256
+    else:
+        clients, ops, sessions, inflight = 200_000, 0.5, 16, 64
+    workload = Workload(mix=dict(ZIPF_HOT_MIX), skew=skew, clients=clients,
+                        ops_per_client_s=ops, keys=512,
+                        cached_reads=cached, write_skew=0.0)
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = run_openloop_workload(
+            kind, workload, measure_ms=measure_ms, warmup_ms=150.0,
+            n_observers=0, sessions=sessions,
+            inflight_per_session=inflight)
+        wall_s = time.perf_counter() - start
+        if best is None or wall_s < best["wall_s"]:
+            extra = result.extra
+            best = {
+                "wall_s": round(wall_s, 4),
+                "offered_ops_per_s": extra["offered_ops_per_s"],
+                "achieved_ops_per_s": round(result.throughput_ops, 1),
+                "read_ops_per_s": round(extra["read_ops_per_s"], 1),
+                "read_p50_ms": round(extra["read_p50_ms"], 4),
+                "read_p99_ms": round(extra["read_p99_ms"], 4),
+                "cache_hit_rate": round(
+                    extra.get("cache_hit_rate", 0.0), 4),
+                "sim_events": extra["sim_events"],
+                "events_per_wall_s": round(
+                    extra["sim_events"] / wall_s, 1),
+            }
+    return best
+
+
+def run_zipf_hot_bench(skews=(0.6, 0.9, 1.2), repeat: int = 1
+                       ) -> Dict[str, object]:
+    """The zipf-hot section: saturation pair, latency pair, skew sweep.
+
+    The headline ratio compares achieved read throughput with leases on
+    vs the plain local-reads baseline on identical hardware (3 replicas,
+    no observers) under the same saturating offered load.
+    """
+    baseline = measure_zipf_hot("zk", cached=False, repeat=repeat)
+    cached = measure_zipf_hot("zk", cached=True, repeat=repeat)
+    lat_baseline = measure_zipf_hot("zk", cached=False, saturate=False,
+                                    repeat=repeat)
+    lat_cached = measure_zipf_hot("zk", cached=True, saturate=False,
+                                  repeat=repeat)
+    sweep = {}
+    for skew in skews:
+        sweep[f"{skew:g}"] = {
+            "baseline": measure_zipf_hot("zk", cached=False, skew=skew,
+                                         saturate=False, repeat=repeat),
+            "cached": measure_zipf_hot("zk", cached=True, skew=skew,
+                                       saturate=False, repeat=repeat),
+        }
+    return {
+        "mix": dict(ZIPF_HOT_MIX),
+        "skew": ZIPF_HOT_SKEW,
+        "saturated": {"baseline": baseline, "cached": cached},
+        "light_load": {"baseline": lat_baseline, "cached": lat_cached},
+        "read_speedup_x": round(
+            cached["read_ops_per_s"] / baseline["read_ops_per_s"], 3),
+        "read_p50_speedup_x": round(
+            lat_baseline["read_p50_ms"] / lat_cached["read_p50_ms"], 1),
+        "skew_sweep": sweep,
+    }
+
+
 def run_guard(payload: dict, threshold: float = GUARD_THRESHOLD) -> int:
     """Re-measure quickly; fail if any row regressed more than ``threshold``.
 
@@ -281,6 +367,13 @@ def run_guard(payload: dict, threshold: float = GUARD_THRESHOLD) -> int:
     for kernel in ("heap", "calendar"):
         check(f"kernel:{kernel}", kernel_rows.get(kernel),
               measure_kernel(kernel, repeat=2))
+    zipf = payload.get("zipf_hot", {}).get("light_load", {})
+    if zipf.get("cached"):
+        # The cache path (leases + client cache + revocation) is new
+        # hot-loop code: guard its kernel throughput like the others.
+        check("zipf_hot:cached", zipf.get("cached"),
+              measure_zipf_hot("zk", cached=True, saturate=False,
+                               repeat=1))
     if failures:
         print(f"wallclock guard FAILED: {', '.join(failures)} dropped "
               f">{threshold:.0%} below the recorded rows")
@@ -307,6 +400,9 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--guard", action="store_true",
                         help="re-measure and fail if events/wall-s dropped "
                              f">{GUARD_THRESHOLD:.0%} below recorded rows")
+    parser.add_argument("--skew", default="0.6,0.9,1.2",
+                        help="comma-separated Zipf exponents for the "
+                             "zipf-hot skew sweep (default: 0.6,0.9,1.2)")
     args = parser.parse_args(argv)
 
     if args.guard:
@@ -339,6 +435,27 @@ def main(argv: Optional[list] = None) -> int:
                   f"achieved={row['achieved_ops_per_s']:>9.1f} ops/s  "
                   f"p50/p99/p999={row['p50_ms']:.3f}/{row['p99_ms']:.3f}/"
                   f"{row['p999_ms']:.3f} ms  wall={row['wall_s']:.2f}s")
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        return 0
+
+    if args.workload == "zipf-hot":
+        skews = tuple(float(s) for s in args.skew.split(",") if s)
+        section = run_zipf_hot_bench(skews=skews, repeat=args.repeat)
+        payload = _load(args.output)
+        payload["zipf_hot"] = section
+        sat = section["saturated"]
+        print(f"  saturated: baseline={sat['baseline']['read_ops_per_s']:>10.1f}"
+              f" reads/s  cached={sat['cached']['read_ops_per_s']:>10.1f}"
+              f" reads/s  speedup={section['read_speedup_x']:.2f}x"
+              f"  (hit rate {sat['cached']['cache_hit_rate']:.1%})")
+        light = section["light_load"]
+        print(f"  light:     p50 baseline={light['baseline']['read_p50_ms']:.4f}"
+              f" ms  cached={light['cached']['read_p50_ms']:.4f} ms"
+              f"  ({section['read_p50_speedup_x']:.0f}x)")
+        for skew, pair in section["skew_sweep"].items():
+            print(f"  skew={skew:<4} hit={pair['cached']['cache_hit_rate']:.1%}"
+                  f"  p50={pair['cached']['read_p50_ms']:.4f} ms"
+                  f"  (baseline {pair['baseline']['read_p50_ms']:.4f} ms)")
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         return 0
 

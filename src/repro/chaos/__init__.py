@@ -14,8 +14,9 @@ recipe invariants for large ones. Every run is replayable from its
 
 from .checker import (CheckResult, CounterModel, RegisterModel,
                       check_barrier_history, check_counter_history,
-                      check_election_history, check_linearizable,
-                      check_queue_history, check_session_log)
+                      check_election_history, check_lease_reads,
+                      check_linearizable, check_queue_history,
+                      check_session_log)
 from .explorer import RECIPES, ChaosRun, repro_line, run_chaos
 from .history import History, HistoryEvent, OpRecord, RecordingCoord
 from .nemesis import Nemesis
@@ -47,5 +48,6 @@ __all__ = [
     "run_chaos",
     "run_session_chaos",
     "check_session_log",
+    "check_lease_reads",
     "repro_line",
 ]

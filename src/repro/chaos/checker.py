@@ -21,6 +21,7 @@ Two modes, as the harness's contract demands:
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from collections import Counter
 from typing import Any, List, Optional, Tuple
@@ -37,6 +38,7 @@ __all__ = [
     "check_barrier_history",
     "check_election_history",
     "check_session_log",
+    "check_lease_reads",
 ]
 
 
@@ -398,4 +400,49 @@ def check_session_log(records, ephemeral_owners: dict,
                 return CheckResult(
                     False, f"{replica_id}: ephemeral owner {owner} is "
                            f"neither open nor closed-and-reaped")
+    return CheckResult(True)
+
+
+# ---------------------------------------------------------------------------
+# lease-cache invariant (zk family)
+# ---------------------------------------------------------------------------
+
+
+def check_lease_reads(events) -> CheckResult:
+    """No cache-served read returns data older than an earlier-acked write.
+
+    ``events`` is a flat stream of ``("write", ack_time, mzxid)`` and
+    ``("read", start_time, mzxid)`` observations collected by the lease
+    storm. The lease protocol's claim is linearizability of the cache
+    hit path: a write acknowledges only once every outstanding lease on
+    the path is revoked or expired, so a read *invoked* after that ack
+    — even one served locally at 0 RTT — must observe the write or
+    something newer. In commit-order terms: the read's returned
+    ``mzxid`` must be at least the largest ``mzxid`` among writes acked
+    strictly before the read began.
+
+    Sound under concurrent writers because only acks are recorded
+    (``mzxid`` is assigned in commit order, so the ack floor is
+    well-defined even when issue order and commit order differ) and
+    errored/in-doubt writes are omitted — a lost reply never raises the
+    floor, it can only leave legal slack.
+    """
+    acks = sorted((t, z) for kind, t, z in events if kind == "write")
+    ack_times = [t for t, _ in acks]
+    floors: List[int] = []
+    best = 0
+    for _, zxid in acks:
+        best = max(best, zxid)
+        floors.append(best)
+    for kind, started, zxid in events:
+        if kind != "read":
+            continue
+        # bisect_left: writes acked *strictly* before the read began —
+        # an ack at exactly ``started`` is concurrent, not prior.
+        n_prior = bisect.bisect_left(ack_times, started)
+        if n_prior and zxid < floors[n_prior - 1]:
+            return CheckResult(
+                False, f"stale lease read: started at {started:.3f}ms and "
+                       f"returned mzxid {zxid}, but a write with mzxid "
+                       f"{floors[n_prior - 1]} was acked earlier")
     return CheckResult(True)

@@ -127,6 +127,8 @@ class Nemesis:
             "churn_connects": 0, "churn_closed": 0, "churn_abandoned": 0,
             "zombie_fenced": 0, "zombie_applied": 0, "zombie_lost": 0,
             "watch_notifications": 0, "watchers_served": 0,
+            "lease_reads": 0, "lease_writes": 0, "lease_cache_hits": 0,
+            "lease_events": [],
         }
         self._storm_index = 0
 
@@ -249,16 +251,21 @@ class Nemesis:
     def _do_watch_storm(self, action: FaultAction) -> None:
         self._spawn_storm(action, "watch")
 
+    def _do_lease_storm(self, action: FaultAction) -> None:
+        self._spawn_storm(action, "lease")
+
     def _spawn_storm(self, action: FaultAction, flavor: str) -> None:
         # Late import: storms drive Nemesis-run schedules, so the
         # modules reference each other.
-        from .storms import spawn_session_storm, spawn_watch_storm
+        from .storms import (spawn_lease_storm, spawn_session_storm,
+                             spawn_watch_storm)
         if not isinstance(self.adapter, _ZkAdapter):
             raise ValueError(f"{action.kind} requires the zk family")
         storm_id = self._storm_index
         self._storm_index += 1
-        spawn = (spawn_session_storm if flavor == "session"
-                 else spawn_watch_storm)
+        spawn = {"session": spawn_session_storm,
+                 "watch": spawn_watch_storm,
+                 "lease": spawn_lease_storm}[flavor]
         self.storm_procs.extend(spawn(self, action, storm_id))
         self._note(f"{action.kind} #{storm_id} n={action.count} "
                    f"for={action.duration_ms:g}ms")

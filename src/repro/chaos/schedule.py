@@ -26,6 +26,10 @@ windows):
                     probe the expiry fence); zk family only
 ``watch_storm``     spawn ``count`` watchers of one hot path plus a
                     writer hammering it over the window; zk family only
+``lease_storm``     spawn ``count`` lease-caching readers of one hot
+                    path plus writers mutating it over the window,
+                    recording (ack, read) observations for the
+                    stale-read checker; zk family only
 ==================  =====================================================
 """
 
@@ -40,10 +44,11 @@ __all__ = ["FaultAction", "Schedule", "random_schedule",
 
 KINDS = ("crash_leader", "crash_follower", "partition_leader",
          "partition_follower", "partition_oneway", "drop_burst",
-         "delay_burst", "kill_client", "session_storm", "watch_storm")
+         "delay_burst", "kill_client", "session_storm", "watch_storm",
+         "lease_storm")
 
 #: storm kinds carry a client ``count`` and may overlap a classic fault.
-STORM_KINDS = ("session_storm", "watch_storm")
+STORM_KINDS = ("session_storm", "watch_storm", "lease_storm")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -115,8 +120,9 @@ def random_schedule(seed: int) -> Schedule:
 def random_storm_schedule(seed: int, scenario: str) -> Schedule:
     """1–2 storm windows, most overlapped by one classic fault each.
 
-    ``scenario`` is ``"churn"`` (session storms: connect/expire churn)
-    or ``"watch_storm"`` (watch fan-out storms). Storm windows stay
+    ``scenario`` is ``"churn"`` (session storms: connect/expire churn),
+    ``"watch_storm"`` (watch fan-out storms) or ``"lease_storm"``
+    (lease-caching readers racing writers). Storm windows stay
     serialized with each other; the optional classic fault fires
     *inside* its storm window (starting in the first half, ending by
     the window's close), because reconnect/fencing under a concurrently
@@ -128,6 +134,8 @@ def random_storm_schedule(seed: int, scenario: str) -> Schedule:
         storm_kind, lo, hi = "session_storm", 4, 10
     elif scenario == "watch_storm":
         storm_kind, lo, hi = "watch_storm", 5, 12
+    elif scenario == "lease_storm":
+        storm_kind, lo, hi = "lease_storm", 4, 10
     else:
         raise ValueError(f"unknown storm scenario {scenario!r}")
     rng = random.Random(f"chaos-storm-{scenario}-{seed}")

@@ -13,7 +13,15 @@ a recipe. Storms stress the *session machinery* itself:
 * a **watch storm** (``watch_storm`` scenario) spawns a fleet of
   watchers of one hot path plus a writer hammering it, so every write
   fans out to every watcher while the overlapped classic fault forces
-  reconnects mid-wait (watch re-registration + missed-event synthesis).
+  reconnects mid-wait (watch re-registration + missed-event synthesis);
+* a **lease storm** (``lease_storm`` scenario) spawns a fleet of
+  lease-caching readers (``cached_reads=True``) hammering one hot path
+  while writers mutate it, under leader crashes and partitions. Every
+  write ack and every cache-served read is recorded as a
+  ``(kind, time, mzxid)`` observation; the post-run
+  :func:`~repro.chaos.checker.check_lease_reads` invariant is the
+  protocol's whole claim — no cache hit may return a value older than
+  a write acknowledged before the read began.
 
 :func:`run_session_chaos` is the driver — the session-flavored sibling
 of :func:`repro.chaos.explorer.run_chaos`, replayable the same way::
@@ -32,8 +40,9 @@ from typing import List
 
 from ..ezk import EzkEnsemble
 from ..zk import SessionExpiredError, ZkEnsemble, ZkError
+from ..zk.leases import LeaseConfig
 from ..zk.server import ZkConfig
-from .checker import CheckResult, check_session_log
+from .checker import CheckResult, check_lease_reads, check_session_log
 from .explorer import (ChaosRun, _DEADLINE_MARGIN_MS, _SETTLE_MS,
                        _await_consistency, _run_to)
 from .history import History
@@ -41,10 +50,11 @@ from .nemesis import Nemesis
 from .schedule import Schedule, random_storm_schedule
 
 __all__ = ["SESSION_SCENARIOS", "run_session_chaos",
-           "spawn_session_storm", "spawn_watch_storm"]
+           "spawn_session_storm", "spawn_watch_storm",
+           "spawn_lease_storm"]
 
 #: scenario names accepted as ``--recipe`` values by ``repro.chaos``.
-SESSION_SCENARIOS = ("churn", "watch_storm")
+SESSION_SCENARIOS = ("churn", "watch_storm", "lease_storm")
 
 #: storm-client session timeout: short enough that an abandoned session
 #: expires well inside the run, long enough (≫ election timeout) that a
@@ -54,6 +64,12 @@ _CHURN_TIMEOUT_MS = 1500.0
 _FENCE_PATH = "/fence-probe"
 #: persistent node the watch storm's writer hammers.
 _FANOUT_PATH = "/fanout"
+#: persistent node lease-caching readers and writers fight over.
+_LEASE_PATH = "/lease-hot"
+#: lease knobs for the storm: short enough that grants, revokes and
+#: expiries all recur many times per window.
+_STORM_LEASES = LeaseConfig(duration_ms=400.0, grace_ms=50.0,
+                            min_reads=2, heat_window_ms=100.0)
 #: how long a zombie may keep probing before the run calls it lost
 #: (covers a pause/rebase-delayed expiry plus the fault window).
 _ZOMBIE_PATIENCE_MS = 30_000.0
@@ -74,6 +90,15 @@ def spawn_watch_storm(nemesis: Nemesis, action, storm_id: int) -> list:
     env = nemesis.env
     procs = [env.process(_fanout_writer(nemesis, action, storm_id))]
     procs += [env.process(_watcher(nemesis, action, storm_id, i))
+              for i in range(action.count)]
+    return procs
+
+
+def spawn_lease_storm(nemesis: Nemesis, action, storm_id: int) -> list:
+    env = nemesis.env
+    procs = [env.process(_lease_writer(nemesis, action, storm_id, w))
+             for w in range(2)]
+    procs += [env.process(_lease_reader(nemesis, action, storm_id, i))
               for i in range(action.count)]
     return procs
 
@@ -198,6 +223,78 @@ def _watcher(nemesis: Nemesis, action, storm_id: int, i: int):
         pass
 
 
+def _lease_writer(nemesis: Nemesis, action, storm_id: int, w: int):
+    env, stats = nemesis.env, nemesis.storm_stats
+    beat = max(30.0, action.duration_ms / 16.0)
+    yield env.timeout(w * beat / 2.0)
+    client = nemesis.ensemble.client(
+        node_id=f"leasew{storm_id}x{w}", session_timeout_ms=8000.0,
+        resilient=True)
+    try:
+        yield from client.connect()
+    except ZkError:
+        return
+    end = env.now + action.duration_ms
+    k = 0
+    while env.now < end:
+        try:
+            stat = yield from client.set_data(
+                _LEASE_PATH, f"s{storm_id}w{w}:{k}".encode())
+            # Record the *ack*: only once set_data returns is the write
+            # committed-and-visible by the lease contract (every cached
+            # copy revoked or expired). An errored write is in-doubt and
+            # constrains nothing.
+            stats["lease_events"].append(("write", env.now, stat.mzxid))
+            stats["lease_writes"] += 1
+        except ZkError:
+            if client.state.value in ("EXPIRED", "CLOSED"):
+                return
+        k += 1
+        yield env.timeout(beat)
+    try:
+        yield from client.close()
+    except ZkError:
+        pass
+
+
+def _lease_reader(nemesis: Nemesis, action, storm_id: int, i: int):
+    env, stats = nemesis.env, nemesis.storm_stats
+    # Stagger starts across the first half of the window so every
+    # reader still overlaps the classic fault and the writers.
+    yield env.timeout(action.duration_ms * i / max(1, 2 * action.count))
+    client = nemesis.ensemble.client(
+        node_id=f"leaser{storm_id}x{i}", session_timeout_ms=8000.0,
+        resilient=True, cached_reads=True)
+    try:
+        yield from client.connect()
+    except ZkError:
+        return
+    end = env.now + action.duration_ms
+    while env.now < end:
+        hits_before = client._cache.stats["hits"]
+        started = env.now
+        try:
+            _data, stat = yield from client.get_data(_LEASE_PATH)
+        except ZkError:
+            if client.state.value in ("EXPIRED", "CLOSED"):
+                break
+            yield env.timeout(100.0)
+            continue
+        stats["lease_reads"] += 1
+        if client._cache.stats["hits"] > hits_before:
+            # Only cache-served reads feed the invariant: a miss falls
+            # back to the plain (session-monotonic, not linearizable)
+            # read path, whose staleness is ordinary ZooKeeper
+            # semantics, not a lease bug.
+            stats["lease_events"].append(("read", started, stat.mzxid))
+        yield env.timeout(10.0)
+    stats["lease_cache_hits"] += client._cache.stats["hits"]
+    try:
+        yield from client.close()
+    except ZkError:
+        pass
+
+
 # ---------------------------------------------------------------------------
 # the driver
 # ---------------------------------------------------------------------------
@@ -216,8 +313,12 @@ def run_session_chaos(system: str, scenario: str, seed: int,
              f"--system {system} --recipe {scenario} --seed {seed}")
 
     cls = ZkEnsemble if system == "zk" else EzkEnsemble
+    # Leases only in the lease scenario: churn/watch runs must replay
+    # byte-identically against their historical (system, seed) cells.
+    leases = _STORM_LEASES if scenario == "lease_storm" else None
     ensemble = cls(n_replicas=3, seed=seed,
-                   config=ZkConfig(local_reads=True), n_observers=1)
+                   config=ZkConfig(local_reads=True, leases=leases),
+                   n_observers=1)
     ensemble.start()
     env = ensemble.env
     base = [ensemble.client(session_timeout_ms=8000.0, resilient=True)
@@ -228,6 +329,8 @@ def run_session_chaos(system: str, scenario: str, seed: int,
             yield from client.connect()
         yield from base[0].create(_FENCE_PATH, b"v0")
         yield from base[0].create(_FANOUT_PATH, b"v0")
+        if scenario == "lease_storm":
+            yield from base[0].create(_LEASE_PATH, b"v0")
 
     env.run(until=env.process(setup()))
 
@@ -299,6 +402,18 @@ def _base_worker(client, i: int, span_ms: float):
 
 def _check_storm_liveness(scenario: str, stats: dict) -> CheckResult:
     """Scenario floors: the storm must have actually exercised the path."""
+    if scenario == "lease_storm":
+        # Safety first: no cache hit served a value older than a write
+        # acknowledged before the read began.
+        result = check_lease_reads(stats["lease_events"])
+        if not result.ok:
+            return result
+        if not stats["lease_writes"]:
+            return CheckResult(False, "lease storm: no write ever acked")
+        if not stats["lease_cache_hits"]:
+            return CheckResult(False, "lease storm: no read was ever "
+                                      "served from cache")
+        return CheckResult(True)
     if scenario == "churn":
         if not stats["churn_connects"]:
             return CheckResult(False, "churn storm: no session ever "

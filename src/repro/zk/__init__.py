@@ -12,6 +12,9 @@ from .ensemble import ZkEnsemble
 from .errors import (BadArgumentsError, BadVersionError, ConnectionLossError,
                      NoChildrenForEphemeralsError, NodeExistsError,
                      NoNodeError, NotEmptyError, SessionExpiredError, ZkError)
+from .hotchain import (ChainNode, HotChainConfig, HotChainController,
+                       HotChainRouter, PromotionPolicy)
+from .leases import ClientReadCache, LeaseConfig, LeaseTable
 from .overlay import TreeOverlay
 from .server import (Forward, InterceptResult, StateEvent, ZkConfig, ZkServer,
                      ZkTimings)
@@ -25,7 +28,9 @@ from .zab import NotLeaderError, Role, ZabConfig, ZabPeer
 
 __all__ = [
     "ZkClient", "SessionState", "ZkEnsemble", "ZkServer", "ZkConfig",
-    "ZkTimings",
+    "ZkTimings", "LeaseConfig", "LeaseTable", "ClientReadCache",
+    "HotChainConfig", "ChainNode", "HotChainController", "HotChainRouter",
+    "PromotionPolicy",
     "DataTree", "Stat", "ZNode", "TreeOverlay",
     "SessionTable", "Session", "HeartbeatTracker", "ExpiryClock",
     "WatchManager", "WatchEvent", "EventType",

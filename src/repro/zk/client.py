@@ -31,6 +31,8 @@ from ..core.retry import ZK_RETRY_POLICY, RetryPolicy
 from ..sim import Environment, Event, Network
 from .data_tree import Stat
 from .errors import ConnectionLossError, SessionExpiredError, from_code
+from .leases import (CACHE_MISS, ClientReadCache, LeaseClientRequest,
+                     LeasedReply, LeaseRelease, LeaseRevoke, LeaseRevokeAck)
 from .txn import (ClientReply, ClientRequest, CloseSessionOp, CreateOp,
                   CreateSessionOp, DeleteOp, ExistsOp, GetChildrenOp,
                   GetDataOp, MultiOp, Op, PingOp, SetDataOp, SyncOp,
@@ -71,7 +73,8 @@ class ZkClient:
                  replicas: List[str], replica: Optional[str] = None,
                  session_timeout_ms: float = 2000.0,
                  track_zxid: bool = False, resilient: bool = False,
-                 retry: Optional[RetryPolicy] = None):
+                 retry: Optional[RetryPolicy] = None,
+                 cached_reads: bool = False):
         self.env = env
         self.net = net
         self.node_id = node_id
@@ -101,6 +104,14 @@ class ZkClient:
         self._abandoned = False
         self._ping_xids: set = set()
         self._last_pong = 0.0
+
+        #: Lease-protected read cache (pair with ``ZkConfig.leases``):
+        #: hot-key ``get_data``/``exists`` answers are kept locally under
+        #: a leader-granted lease and served at 0 RTT until the lease
+        #: expires, is revoked, or any session hiccup flushes the cache.
+        self.cached_reads = cached_reads
+        self._cache: Optional[ClientReadCache] = (
+            ClientReadCache() if cached_reads else None)
 
         self._xid = 0
         self._pending: Dict[int, Event] = {}
@@ -142,6 +153,10 @@ class ZkClient:
                 future.succeed(msg)
         elif isinstance(msg, WatchNotification):
             self._observe_zxid(msg.zxid)
+            if self._cache is not None:
+                # Watch-invalidation: the pushed change supersedes
+                # whatever this client cached for the path.
+                self._cache.drop(msg.path)
             if self._watch_meta:
                 # The server-side watch is one-shot: it is no longer
                 # armed, so drop it from the reconnect re-arm set.
@@ -149,6 +164,14 @@ class ZkClient:
                         EventType.NODE_CHILDREN_CHANGED.value else "data")
                 self._watch_meta.pop((kind, msg.path), None)
             self._dispatch_watch(msg)
+        elif isinstance(msg, LeaseRevoke):
+            if self._cache is not None:
+                self._cache.revoke(msg.path, msg.lease_id)
+            # Always ack — a writer is blocked on it; an ack for a lease
+            # this client never installed (revoke won the race with the
+            # grant) is how the leader learns the path is clear.
+            self.net.send(self.node_id, src, LeaseRevokeAck(
+                self.session_id or 0, msg.path, msg.lease_id))
 
     def _observe_zxid(self, zxid: int) -> None:
         """Raise the session's last-seen zxid (replies and watch pushes)."""
@@ -192,7 +215,14 @@ class ZkClient:
             attempts += 1
             future = self.env.event()
             self._pending[xid] = future
-            if self.track_zxid:
+            if (self._cache is not None
+                    and isinstance(op, (GetDataOp, ExistsOp))
+                    and not op.watch):
+                # Cacheable read: the marker envelope invites the server
+                # to piggyback a lease grant on the reply.
+                request: ClientRequest = LeaseClientRequest(
+                    session, xid, op, last_zxid=self.last_zxid)
+            elif self.track_zxid:
                 request = ZxidClientRequest(session, xid, op,
                                             last_zxid=self.last_zxid)
             else:
@@ -243,7 +273,34 @@ class ZkClient:
                 if self.state is SessionState.SUSPENDED:
                     self._set_state(SessionState.CONNECTED)
                 self._note_watch(op, reply.value)
+            if self._cache is not None:
+                self._cache_note(op, reply)
             return reply.value
+
+    def _cache_note(self, op: Op, reply: ClientReply) -> None:
+        """Maintain the read cache from a successful reply.
+
+        Installs on a leased read reply; invalidates on this client's
+        own writes (the lease protocol only fences *other* clients'
+        cached copies — our own must drop immediately); flushes on a
+        sync barrier, volunteering the lease ids back so blocked
+        writers resume without waiting out the term.
+        """
+        cache = self._cache
+        if isinstance(reply, LeasedReply):
+            cache.install(op.path, reply.value, reply, self.env.now)
+        elif isinstance(op, (SetDataOp, DeleteOp, CreateOp)):
+            cache.drop(op.path)
+        elif isinstance(op, MultiOp):
+            for sub in op.ops:
+                if isinstance(sub, (SetDataOp, DeleteOp, CreateOp)):
+                    cache.drop(sub.path)
+        elif isinstance(op, SyncOp):
+            released = cache.drop_all()
+            if released:
+                self.net.send(self.node_id, self.replica,
+                              LeaseRelease(self.session_id or 0,
+                                           tuple(released)))
 
     def _await_blocking(self, xid: int, future: Event, request) -> object:
         """Wait on a no-deadline (blocking) call, watching the connection.
@@ -281,6 +338,13 @@ class ZkClient:
         if state is self.state:
             return
         self.state = state
+        if self._cache is not None and state in (SessionState.SUSPENDED,
+                                                 SessionState.EXPIRED,
+                                                 SessionState.CLOSED):
+            # Any session hiccup flushes the cache: a SUSPENDED client
+            # may have missed revokes, and an EXPIRED one must never
+            # serve another cached byte (the expiry-fencing contract).
+            self._cache.drop_all()
         for listener in list(self.session_listeners):
             listener(state)
 
@@ -571,6 +635,12 @@ class ZkClient:
 
     def get_data(self, path: str, watch: bool = False):
         """Read znode data; returns (data, Stat)."""
+        if self._cache is not None and not watch:
+            hit = self._cache.data(path, self.env.now)
+            if hit is not CACHE_MISS:
+                # 0 RTT: a sliver of local CPU, no network.
+                yield self.env.timeout(self._cache.hit_cost_ms)
+                return hit
         value = yield from self._call(GetDataOp(path, watch))
         return value
 
@@ -581,6 +651,11 @@ class ZkClient:
 
     def exists(self, path: str, watch: bool = False):
         """Stat if the node exists, else None (optionally arming a watch)."""
+        if self._cache is not None and not watch:
+            hit = self._cache.stat(path, self.env.now)
+            if hit is not CACHE_MISS:
+                yield self.env.timeout(self._cache.hit_cost_ms)
+                return hit
         value = yield from self._call(ExistsOp(path, watch))
         return value
 

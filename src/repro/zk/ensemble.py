@@ -91,13 +91,17 @@ class ZkEnsemble:
     def client(self, node_id: Optional[str] = None,
                session_timeout_ms: float = 2000.0,
                replica: Optional[str] = None,
-               resilient: bool = False) -> ZkClient:
+               resilient: bool = False,
+               cached_reads: bool = False) -> ZkClient:
         """Create a client; connection replica assigned round-robin.
 
         ``resilient=True`` enables the client-side session state
         machine: automatic failover with backoff, session
         re-establishment, and watch re-registration with missed-event
         synthesis (see :class:`~repro.zk.client.SessionState`).
+        ``cached_reads=True`` (pair with ``ZkConfig.leases``) adds the
+        lease-protected read cache: hot-key reads served locally at
+        0 RTT (see :mod:`repro.zk.leases`).
         """
         if not self._started:
             raise RuntimeError("start() the ensemble before creating clients")
@@ -110,7 +114,8 @@ class ZkEnsemble:
                                  self.all_ids, replica=replica,
                                  session_timeout_ms=session_timeout_ms,
                                  track_zxid=self.config.local_reads,
-                                 resilient=resilient)
+                                 resilient=resilient,
+                                 cached_reads=cached_reads)
 
     def trees_consistent(self) -> bool:
         """True when every live replica holds the same tree (test helper)."""

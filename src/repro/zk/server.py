@@ -44,9 +44,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from bisect import bisect_right
 
 from ..sim import Environment, FifoResource, Network
-from .data_tree import DataTree, split_path
+from .data_tree import DataTree, Stat, split_path
 from .errors import (ConnectionLossError, SessionExpiredError, ZkError,
                      from_code, to_code)
+from .leases import (LeaseClientRequest, LeaseConfig, LeaseDeny, LeaseGrant,
+                     LeasedReply, LeaseRelease, LeaseRequest, LeaseRevoke,
+                     LeaseRevokeAck, LeaseTable, WriteGate)
 from .overlay import TreeOverlay
 from .sessions import ConsistencyTracker, ExpiryClock, SessionTable
 from .txn import (ClientReply, ClientRequest, CloseSessionOp, CloseSessionTxn,
@@ -94,6 +97,12 @@ class ZkConfig:
     #: never fences a healthy client. On by default: the default figure
     #: workloads never close sessions, so their traffic is unchanged.
     expiry_fencing: bool = True
+    #: Leader-granted read leases for client-side caching (see
+    #: ``leases.py``). ``None`` (the default) keeps every path — wire
+    #: sizes, scheduling, replies — bit-identical to a lease-free build;
+    #: set to a :class:`LeaseConfig` to let ``cached_reads`` clients
+    #: serve hot-key reads from local memory at 0 RTT.
+    leases: Optional[LeaseConfig] = None
 
 
 @dataclass
@@ -162,8 +171,8 @@ class ZkServer:
         #: zxid of the last transaction applied to our tree.
         self._applied_zxid = 0
         #: reads waiting for this replica to catch up to a session's zxid:
-        #: (required zxid, meta, op), drained as transactions apply.
-        self._parked_reads: List[Tuple[int, RequestMeta, Op]] = []
+        #: (required zxid, meta, op, wants_lease), drained as txns apply.
+        self._parked_reads: List[Tuple[int, RequestMeta, Op, bool]] = []
         #: leader-only: (client_node, xid) -> zxid for every update this
         #: leadership has proposed, rebuilt from the log on election.
         #: Clients reuse the xid when they retry after a timeout, so a
@@ -179,6 +188,20 @@ class ZkServer:
         #: Reset on role change: an uncommitted close dies with the old
         #: leadership, a committed one is visible via the session table.
         self._closing_sessions: set = set()
+        #: lease machinery (None unless ``config.leases`` is set): the
+        #: leader's grant/gate book, a follower's parked grant waits,
+        #: and the per-replica read-heat window (promotion hysteresis).
+        self._lease_table: Optional[LeaseTable] = (
+            LeaseTable(self.config.leases)
+            if self.config.leases is not None else None)
+        self._lease_waits: Dict[int, tuple] = {}
+        self._lease_wait_seq = 0
+        self._read_heat: Dict[str, int] = {}
+        self._heat_window_start = 0.0
+        if self._lease_table is not None:
+            # Closed-session grant index cleanup rides the session
+            # table's own close path (replicated, exactly-once).
+            self.sessions.on_close = self._lease_table.forget_session
         #: expiry clock paused (crashed or not leading): the first
         #: healthy sweep after a pause *rebases* every session instead
         #: of expiring it, so a long election cannot mass-expire clients
@@ -241,6 +264,7 @@ class ZkServer:
         self.net.crash(self.node_id)
         self.zab.crash()
         self._parked_reads.clear()
+        self._lease_waits.clear()
 
     def recover(self) -> None:
         self._alive = True
@@ -263,6 +287,16 @@ class ZkServer:
             self._on_forward(msg)
         elif isinstance(msg, SessionPing):
             self.heartbeats.touch(msg.session_id, self.env.now)
+        elif isinstance(msg, LeaseRequest):
+            self._on_lease_request(src, msg)
+        elif isinstance(msg, LeaseGrant):
+            self._on_lease_grant(msg)
+        elif isinstance(msg, LeaseDeny):
+            self._finish_lease_wait(msg.grant_key)
+        elif isinstance(msg, LeaseRevokeAck):
+            self._on_lease_revoked(msg.lease_id)
+        elif isinstance(msg, LeaseRelease):
+            self._on_lease_release(msg)
 
     # -- client requests ---------------------------------------------------
 
@@ -303,7 +337,10 @@ class ZkServer:
         if is_update(op) or routed_by_extension:
             self._route_update(meta, req)
         else:
-            self._handle_read(meta, op, getattr(req, "last_zxid", 0))
+            self._handle_read(meta, op, getattr(req, "last_zxid", 0),
+                              wants_lease=(self._lease_table is not None
+                                           and isinstance(
+                                               req, LeaseClientRequest)))
 
     def _on_ping(self, src: str, req: ClientRequest) -> None:
         self.local_sessions.setdefault(req.session_id, src)
@@ -317,7 +354,10 @@ class ZkServer:
     def _route_update(self, meta: RequestMeta, req: ClientRequest) -> None:
         self.local_sessions[req.session_id] = meta.client_node
         if self.zab.is_leader:
-            self._enter_prep(meta, req.op)
+            if self._lease_table is not None:
+                self._gate_or_prep(meta, req.op)
+            else:
+                self._enter_prep(meta, req.op)
         elif self.zab.leader_id is not None:
             self.net.send(self.node_id, self.zab.leader_id,
                           Forward(req, self.node_id, meta.client_node))
@@ -339,7 +379,10 @@ class ZkServer:
         if isinstance(fwd.request.op, SyncOp):
             self._answer_sync(meta)
             return
-        self._enter_prep(meta, fwd.request.op)
+        if self._lease_table is not None:
+            self._gate_or_prep(meta, fwd.request.op)
+        else:
+            self._enter_prep(meta, fwd.request.op)
 
     # -- sync (leader round-trip, no txn) -----------------------------------
 
@@ -378,7 +421,7 @@ class ZkServer:
     # -- read fast path ------------------------------------------------------
 
     def _handle_read(self, meta: RequestMeta, op: Op,
-                     last_zxid: int = 0) -> None:
+                     last_zxid: int = 0, wants_lease: bool = False) -> None:
         self.local_sessions[meta.session_id] = meta.client_node
         if self.config.local_reads:
             # Session consistency: never serve a state older than what
@@ -386,13 +429,14 @@ class ZkServer:
             # replica has already served it (local floor).
             required = max(last_zxid, self.read_floors.floor(meta.session_id))
             if required > self._applied_zxid:
-                self._parked_reads.append((required, meta, op))
+                self._parked_reads.append((required, meta, op, wants_lease))
                 return
-        self._submit_read(meta, op)
+        self._submit_read(meta, op, wants_lease)
 
-    def _submit_read(self, meta: RequestMeta, op: Op) -> None:
+    def _submit_read(self, meta: RequestMeta, op: Op,
+                     wants_lease: bool = False) -> None:
         work = self.cpu.submit(self.timings.read_execute_ms)
-        work.add_callback(lambda _e: self._execute_read(meta, op))
+        work.add_callback(lambda _e: self._execute_read(meta, op, wants_lease))
 
     def _drain_parked_reads(self) -> None:
         """Run every parked read the applied state now satisfies."""
@@ -402,12 +446,13 @@ class ZkServer:
         still_parked = []
         for entry in self._parked_reads:
             if entry[0] <= applied:
-                self._submit_read(entry[1], entry[2])
+                self._submit_read(entry[1], entry[2], entry[3])
             else:
                 still_parked.append(entry)
         self._parked_reads = still_parked
 
-    def _execute_read(self, meta: RequestMeta, op: Op) -> None:
+    def _execute_read(self, meta: RequestMeta, op: Op,
+                      wants_lease: bool = False) -> None:
         if not self._alive:
             return
         try:
@@ -431,6 +476,8 @@ class ZkServer:
         except ZkError as error:
             self._reply_error(meta, error)
             return
+        if wants_lease and self._try_lease_reply(meta, op, value):
+            return
         if self.config.local_reads:
             zxid = self._applied_zxid
             self.read_floors.note(meta.session_id, zxid)
@@ -439,15 +486,289 @@ class ZkServer:
             return
         self._reply(meta.client_node, ClientReply(meta.xid, True, value))
 
+    # -- leases: grants (read side) ------------------------------------------
+
+    def _try_lease_reply(self, meta: RequestMeta, op: Op, value) -> bool:
+        """Attach a lease to this read reply if the key qualifies.
+
+        True means the reply was (or will be, once the leader answers a
+        follower's grant request) sent by the lease path; False falls
+        back to the ordinary reply tail of :meth:`_execute_read`.
+        """
+        if not isinstance(op, (GetDataOp, ExistsOp)) or op.watch:
+            return False
+        stat = value[1] if isinstance(value, tuple) else value
+        if not isinstance(stat, Stat):
+            return False          # exists() on a missing node: no key to lease
+        if not self._note_heat(op.path):
+            return False          # cold key: plain read, no leader traffic
+        zxid = self._applied_zxid
+        if self.zab.is_leader:
+            lease = self._leader_grant(meta.session_id, meta.client_node,
+                                       op.path)
+            if lease is None:
+                return False
+            if self.config.local_reads and meta.session_id:
+                self.read_floors.note(meta.session_id, zxid)
+            self._reply(meta.client_node, LeasedReply(
+                meta.xid, True, value, zxid=zxid,
+                lease_id=lease.lease_id, lease_expires_at=lease.expires_at,
+                lease_epoch=self.zab.epoch))
+            return True
+        leader = self.zab.leader_id
+        if leader is None:
+            return False
+        # Park the reply and ask the leader; a timeout answers plain so
+        # a dark leader can never stall reads.
+        self._lease_wait_seq += 1
+        key = self._lease_wait_seq
+        self._lease_waits[key] = (meta, op, value, zxid, stat.mzxid)
+        self.net.send(self.node_id, leader, LeaseRequest(
+            meta.session_id, op.path, key, self.node_id, meta.client_node,
+            stat.mzxid))
+        self.env.defer(self.config.leases.grant_timeout_ms,
+                       self._finish_lease_wait, key)
+        return True
+
+    def _note_heat(self, path: str) -> bool:
+        """Promotion hysteresis: lease only keys hot in the current window."""
+        cfg = self.config.leases
+        now = self.env.now
+        if now - self._heat_window_start >= cfg.heat_window_ms:
+            self._read_heat.clear()
+            self._heat_window_start = now
+        count = self._read_heat.get(path, 0) + 1
+        self._read_heat[path] = count
+        return count >= cfg.min_reads
+
+    def _leader_grant(self, session_id: int, client_node: str, path: str):
+        """Grant fence (leader): every reason a grant must be refused."""
+        table = self._lease_table
+        if table is None or not session_id:
+            return None
+        if self.env.now < table.recovery_until:
+            return None           # epoch fence: old grants still at large
+        if (session_id not in self.sessions
+                or self.sessions.is_closed(session_id)
+                or session_id in self._closing_sessions):
+            return None           # never arm a cache the fence already killed
+        if self.op_interceptor is not None:
+            # An extension can rewrite its write set at prep time, so
+            # the per-path pending marks below are not enough here:
+            # refuse grants while *any* write is between ingress and
+            # apply.
+            if table.pipeline_refs or self.zab.last_zxid > self._applied_zxid:
+                return None
+        auth_stat = self.tree.exists(path)
+        if auth_stat is None:
+            return None
+        spec = self._spec_tree
+        if spec is not None:
+            spec_stat = spec.exists(path)
+            if spec_stat is None or spec_stat.mzxid != auth_stat.mzxid:
+                return None       # a write to this key is in the pipeline
+        return table.grant(path, session_id, client_node, self.env.now)
+
+    def _on_lease_request(self, src: str, msg: LeaseRequest) -> None:
+        if self._lease_table is None or not self.zab.is_leader:
+            self.net.send(self.node_id, src, LeaseDeny(msg.grant_key))
+            return
+        auth_stat = self.tree.exists(msg.path)
+        if auth_stat is None or auth_stat.mzxid != msg.mzxid:
+            # The follower read a version the leader has already moved
+            # past (or not reached — it re-checks on its side too).
+            self.net.send(self.node_id, src, LeaseDeny(msg.grant_key))
+            return
+        lease = self._leader_grant(msg.session_id, msg.client_node, msg.path)
+        if lease is None:
+            self.net.send(self.node_id, src, LeaseDeny(msg.grant_key))
+            return
+        self.net.send(self.node_id, src, LeaseGrant(
+            msg.grant_key, lease.lease_id, lease.expires_at,
+            self.zab.epoch, auth_stat.mzxid))
+
+    def _on_lease_grant(self, msg: LeaseGrant) -> None:
+        entry = self._lease_waits.pop(msg.grant_key, None)
+        if entry is None:
+            return                # timed out; the grant just expires unused
+        meta, op, value, zxid, mzxid = entry
+        stat = self.tree.exists(op.path)
+        if (msg.mzxid != mzxid or stat is None or stat.mzxid != mzxid):
+            # The key moved while the grant was in flight: installing
+            # the cached value now would hand the client stale state.
+            self._plain_read_reply(meta, value, zxid)
+            return
+        if self.config.local_reads and meta.session_id:
+            self.read_floors.note(meta.session_id, zxid)
+        self._reply(meta.client_node, LeasedReply(
+            meta.xid, True, value, zxid=zxid,
+            lease_id=msg.lease_id, lease_expires_at=msg.expires_at,
+            lease_epoch=msg.epoch))
+
+    def _finish_lease_wait(self, grant_key: int) -> None:
+        """Deny or grant-timeout: answer the parked read plain."""
+        entry = self._lease_waits.pop(grant_key, None)
+        if entry is None or not self._alive:
+            return
+        meta, _op, value, zxid, _mzxid = entry
+        self._plain_read_reply(meta, value, zxid)
+
+    def _plain_read_reply(self, meta: RequestMeta, value, zxid: int) -> None:
+        if self.config.local_reads:
+            if meta.session_id:
+                self.read_floors.note(meta.session_id, zxid)
+            self._reply(meta.client_node,
+                        ZxidReply(meta.xid, True, value, zxid=zxid))
+            return
+        self._reply(meta.client_node, ClientReply(meta.xid, True, value))
+
+    # -- leases: write gating (leader) ---------------------------------------
+
+    def _lease_write_paths(self, meta: RequestMeta, op: Op) -> Tuple[str, ...]:
+        if isinstance(op, (CreateOp, SetDataOp, DeleteOp)):
+            return (op.path,)
+        if isinstance(op, MultiOp):
+            return tuple(sub.path for sub in op.ops
+                         if isinstance(sub, (CreateOp, SetDataOp, DeleteOp)))
+        if isinstance(op, CloseSessionOp):
+            return self._session_ephemeral_paths(meta.session_id)
+        return ()
+
+    def _session_ephemeral_paths(self, session_id: int) -> Tuple[str, ...]:
+        tree = self._spec_tree if self._spec_tree is not None else self.tree
+        return tuple(tree.ephemerals_of(session_id))
+
+    def _gate_or_prep(self, meta: RequestMeta, op: Op) -> None:
+        """Leader write ingress with leases on: park behind revocation.
+
+        The pending marks raised here stop new grants on the write's
+        paths from this moment on; :meth:`_prep` lowers them once the
+        speculative tree carries the write (from then on the grant
+        fence's mzxid comparison takes over).
+        """
+        table = self._lease_table
+        now = self.env.now
+        paths = self._lease_write_paths(meta, op)
+        fence_paths = paths
+        if self.op_interceptor is not None:
+            # The interceptor may rewrite the write set at prep time, so
+            # fence against every live lease, not just declared paths.
+            fence_paths = tuple(sorted(
+                set(paths) | set(table.all_leased_paths(now))))
+        blockers = table.active_on(fence_paths, now)
+        table.acquire_pending(paths)
+        if not blockers and now >= table.recovery_until:
+            self._enter_prep(meta, op, lease_paths=paths)
+            return
+        grace = table.config.grace_ms
+        not_before = max([table.recovery_until]
+                         + [b.expires_at + grace for b in blockers])
+        gate = WriteGate("update", paths, {b.lease_id for b in blockers},
+                         not_before, meta=meta, op=op)
+        table.open_gate(gate)
+        for blocker in blockers:
+            self.net.send(self.node_id, blocker.client_node,
+                          LeaseRevoke(blocker.path, blocker.lease_id))
+        self.env.defer(max(0.0, not_before - now), self._gate_deadline, gate)
+
+    def _on_lease_revoked(self, lease_id: int) -> None:
+        if self._lease_table is None:
+            return
+        for gate in self._lease_table.revoked(lease_id):
+            self._maybe_fire_gate(gate)
+
+    def _on_lease_release(self, msg: LeaseRelease) -> None:
+        """Voluntary early release (client sync barrier)."""
+        if self._lease_table is None:
+            return
+        if not self.zab.is_leader:
+            if self.zab.leader_id is not None:
+                self.net.send(self.node_id, self.zab.leader_id, msg)
+            return
+        ready: List[WriteGate] = []
+        for lease_id in msg.lease_ids:
+            ready.extend(self._lease_table.revoked(lease_id))
+        for gate in ready:
+            self._maybe_fire_gate(gate)
+
+    def _maybe_fire_gate(self, gate: WriteGate) -> None:
+        """Ack-drain path: every waited-on lease has been revoked."""
+        if gate.fired or not self._alive or gate.waiting:
+            return
+        self._fire_gate(gate)
+
+    def _gate_deadline(self, gate: WriteGate) -> None:
+        """Expiry path: unacked leases ran out their term plus grace."""
+        if gate.fired or not self._alive:
+            return
+        table = self._lease_table
+        if table is not None and gate.waiting:
+            table.purge(gate.waiting)
+            gate.waiting = set()
+        self._fire_gate(gate)
+
+    def _fire_gate(self, gate: WriteGate) -> None:
+        table = self._lease_table
+        if table is None or gate.fired:
+            return
+        table.close_gate(gate)
+        if gate.kind == "close":
+            table.release_pending(gate.paths)
+            session_id = gate.session_id
+            if (self.zab.is_leader and session_id in self.sessions
+                    and session_id in self._closing_sessions):
+                self._apply_to_spec(CloseSessionTxn(session_id))
+                self.zab.propose(CloseSessionTxn(session_id), None)
+            return
+        if not self.zab.is_leader:
+            table.release_pending(gate.paths)
+            self._reply_error(gate.meta,
+                              ConnectionLossError("leadership moved"))
+            return
+        self._enter_prep(gate.meta, gate.op, lease_paths=gate.paths)
+
+    def _gate_session_close(self, session_id: int) -> bool:
+        """Park an expiry-driven close behind leases on its ephemerals.
+
+        True when the close was gated (the sweep must not propose it);
+        False when nothing blocks it and the normal path proceeds.
+        Without this, an expiry sweep could delete a leased ephemeral
+        while its (other-session) holder still serves it from cache.
+        """
+        table = self._lease_table
+        now = self.env.now
+        paths = self._session_ephemeral_paths(session_id)
+        blockers = table.active_on(paths, now) if paths else []
+        if not blockers and now >= table.recovery_until:
+            return False
+        table.acquire_pending(paths)
+        grace = table.config.grace_ms
+        not_before = max([table.recovery_until]
+                         + [b.expires_at + grace for b in blockers])
+        gate = WriteGate("close", paths, {b.lease_id for b in blockers},
+                         not_before, session_id=session_id)
+        table.open_gate(gate)
+        for blocker in blockers:
+            self.net.send(self.node_id, blocker.client_node,
+                          LeaseRevoke(blocker.path, blocker.lease_id))
+        self.env.defer(max(0.0, not_before - now), self._gate_deadline, gate)
+        return True
+
     # -- prep stage (leader) -----------------------------------------------
 
-    def _enter_prep(self, meta: RequestMeta, op: Op) -> None:
+    def _enter_prep(self, meta: RequestMeta, op: Op,
+                    lease_paths: Optional[Tuple[str, ...]] = None) -> None:
         self.heartbeats.touch(meta.session_id, self.env.now)
         cost = self.timings.prep_ms + self.timings.log_write_ms
         work = self.cpu.submit(cost)
-        work.add_callback(lambda _e: self._prep(meta, op))
+        work.add_callback(lambda _e: self._prep(meta, op, lease_paths))
 
-    def _prep(self, meta: RequestMeta, op: Op) -> None:
+    def _prep(self, meta: RequestMeta, op: Op,
+              lease_paths: Optional[Tuple[str, ...]] = None) -> None:
+        if lease_paths is not None and self._lease_table is not None:
+            # The translate below runs in this same event: from here on
+            # the speculative tree (mzxid fence) covers the write.
+            self._lease_table.release_pending(lease_paths)
         if not self._alive:
             return
         if not self.zab.is_leader:
@@ -620,6 +941,8 @@ class ZkServer:
                            now=self.env.now)
 
     def _on_role_change(self) -> None:
+        if self._lease_table is not None:
+            self._lease_reset_for_role()
         if self.zab.is_leader:
             self._spec_tree = _copy_tree(self.tree)
             # Carry the at-most-once guard across elections: retries of
@@ -640,6 +963,23 @@ class ZkServer:
             self._spec_tree = None
             self._proposed_xids = {}
             self._closing_sessions = set()
+
+    def _lease_reset_for_role(self) -> None:
+        """Leases are leader-soft state: a role change wipes the book.
+
+        Parked writes die with the old leadership (their clients retry
+        against the new topology), and a *new* leadership that is not
+        the bootstrap one raises the recovery fence: it cannot know what
+        the old leader granted, so every write waits out one full lease
+        term — the Chubby/GFS master-failover rule.
+        """
+        table = self._lease_table
+        for gate in table.drain_gates():
+            if gate.kind == "update" and gate.meta is not None:
+                self._reply_error(gate.meta,
+                                  ConnectionLossError("leadership changed"))
+        fence = self.zab.is_leader and self.zab.epoch > 1
+        table.reset_for_leadership(self.zab.epoch, self.env.now, fence)
 
     # -- final stage (every replica) ----------------------------------------
 
@@ -805,6 +1145,11 @@ class ZkServer:
                 if (session_id in self.sessions
                         and session_id not in self._closing_sessions):
                     self._closing_sessions.add(session_id)
+                    if (self._lease_table is not None
+                            and self._gate_session_close(session_id)):
+                        # The close deletes leased ephemerals: it parks
+                        # behind revocation like any other write.
+                        continue
                     # Spec first: _apply_to_spec stamps with the zxid
                     # the propose() right after it will assign.
                     self._apply_to_spec(CloseSessionTxn(session_id))

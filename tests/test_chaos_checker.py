@@ -212,7 +212,7 @@ def _counter_run_with_lagging_follower(skip_parking: bool) -> object:
     counter1 = TraditionalSharedCounter(coords[1])
 
     if skip_parking:
-        def broken_read(self, meta, op_, last_zxid=0):
+        def broken_read(self, meta, op_, last_zxid=0, wants_lease=False):
             self.local_sessions[meta.session_id] = meta.client_node
             self._submit_read(meta, op_)
         original = ZkServer._handle_read

@@ -10,16 +10,17 @@ import os
 
 import pytest
 
-from repro.chaos import (SESSION_SCENARIOS, check_session_log,
-                         random_schedule, random_storm_schedule,
-                         run_session_chaos)
+from repro.chaos import (SESSION_SCENARIOS, check_lease_reads,
+                         check_session_log, random_schedule,
+                         random_storm_schedule, run_session_chaos)
 from repro.chaos.schedule import STORM_KINDS
 from repro.zk.txn import (CloseSessionTxn, CreateSessionTxn, CreateTxn,
                           ErrorTxn, MultiTxn, RequestMeta, SetDataTxn,
                           TxnRecord)
 
 SMOKE_SEED = 3
-SMOKE_CELLS = [("zk", "churn"), ("ezk", "watch_storm")]
+SMOKE_CELLS = [("zk", "churn"), ("ezk", "watch_storm"),
+               ("zk", "lease_storm")]
 
 
 @pytest.mark.parametrize("system,scenario", SMOKE_CELLS)
@@ -128,6 +129,45 @@ class TestSessionLogChecker:
 
 
 # ---------------------------------------------------------------------------
+# check_lease_reads teeth (fabricated observation streams)
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseReadChecker:
+    def test_empty_and_fresh_reads_pass(self):
+        assert check_lease_reads([]).ok
+        events = [("write", 10.0, 5), ("read", 11.0, 5),
+                  ("write", 20.0, 9), ("read", 25.0, 9),
+                  ("read", 25.0, 12)]
+        assert check_lease_reads(events).ok
+
+    def test_stale_read_past_acked_write_fails(self):
+        events = [("write", 10.0, 5), ("write", 20.0, 9),
+                  ("read", 25.0, 5)]
+        result = check_lease_reads(events)
+        assert not result.ok
+        assert "stale lease read" in result.reason
+
+    def test_concurrent_ack_does_not_constrain(self):
+        # The ack lands at the exact instant the read begins: the two
+        # are concurrent, so returning the older value is legal.
+        events = [("write", 10.0, 5), ("write", 20.0, 9),
+                  ("read", 20.0, 5)]
+        assert check_lease_reads(events).ok
+
+    def test_ack_floor_uses_commit_order_not_issue_order(self):
+        # Writer A's txn committed first (mzxid 5) but acked *after*
+        # writer B's (mzxid 9): a read after both acks must see >= 9,
+        # and one between the acks must only see >= 9's floor once 9
+        # is actually acked.
+        events = [("write", 30.0, 5), ("write", 20.0, 9),
+                  ("read", 25.0, 9), ("read", 35.0, 9)]
+        assert check_lease_reads(events).ok
+        assert not check_lease_reads(
+            events + [("read", 40.0, 5)]).ok
+
+
+# ---------------------------------------------------------------------------
 # storm schedules
 # ---------------------------------------------------------------------------
 
@@ -146,7 +186,9 @@ class TestStormSchedules:
         schedule = random_storm_schedule(seed, scenario)
         storms = [a for a in schedule.actions if a.kind in STORM_KINDS]
         others = [a for a in schedule.actions if a.kind not in STORM_KINDS]
-        expected = "session_storm" if scenario == "churn" else "watch_storm"
+        expected = {"churn": "session_storm",
+                    "watch_storm": "watch_storm",
+                    "lease_storm": "lease_storm"}[scenario]
         assert storms, "every storm schedule has at least one storm"
         assert all(s.kind == expected for s in storms)
         assert all(s.count > 0 for s in storms)

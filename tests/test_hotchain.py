@@ -1,0 +1,243 @@
+"""Chain-replicated hot-key tier: promotion, fencing, and fallback.
+
+Covers the PromotionPolicy hysteresis in isolation, the full
+promote -> chain-serve -> demote-writeback life cycle against a live
+ensemble, epoch fencing of stale members and stale routers, and the
+router's ZK fallback when the chain dies under it.
+"""
+
+from __future__ import annotations
+
+from repro.zk.ensemble import ZkEnsemble
+from repro.zk.hotchain import (CONFIG_PATH, ChainConfigure, ChainForward,
+                               ChainNack, ChainNode, ChainWrite,
+                               HotChainConfig, HotChainController,
+                               HotChainRouter, PromotionPolicy)
+from repro.zk.server import ZkConfig
+
+
+def make_tier(n_chain=3, promote_accesses=8, seed=1):
+    ensemble = ZkEnsemble(n_replicas=3, config=ZkConfig(local_reads=True),
+                          seed=seed)
+    ensemble.start()
+    env, net = ensemble.env, ensemble.net
+    nodes = [ChainNode(env, net, f"chain{i}") for i in range(n_chain)]
+    config = HotChainConfig(promote_accesses=promote_accesses,
+                            report_interval_ms=50.0)
+    controller = HotChainController(env, net, ensemble.client("ctlzk"),
+                                    nodes, config)
+    router = HotChainRouter(ensemble.client("clizk"), controller.node_id,
+                            config)
+    return ensemble, nodes, controller, router
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+# ---------------------------------------------------------------------------
+# promotion policy (pure)
+# ---------------------------------------------------------------------------
+
+
+def test_policy_promotes_at_threshold():
+    policy = PromotionPolicy(HotChainConfig(promote_accesses=10))
+    promote, demote = policy.decide({"/a": 9, "/b": 10})
+    assert promote == ["/b"] and demote == []
+    assert policy.promoted == {"/b"}
+
+
+def test_policy_demotes_only_after_quiet_windows():
+    policy = PromotionPolicy(HotChainConfig(promote_accesses=10,
+                                            demote_windows=3))
+    policy.decide({"/a": 20})
+    assert policy.promoted == {"/a"}
+    for _ in range(2):
+        _, demote = policy.decide({})
+        assert demote == []
+    _, demote = policy.decide({})
+    assert demote == ["/a"] and policy.promoted == set()
+
+
+def test_policy_hot_window_resets_quiet_streak():
+    policy = PromotionPolicy(HotChainConfig(promote_accesses=10,
+                                            demote_windows=2))
+    policy.decide({"/a": 20})
+    policy.decide({})                    # quiet 1 of 2
+    policy.decide({"/a": 20})            # hot again: streak resets
+    _, demote = policy.decide({})        # quiet 1 of 2 again
+    assert demote == [] and policy.promoted == {"/a"}
+
+
+# ---------------------------------------------------------------------------
+# end-to-end life cycle
+# ---------------------------------------------------------------------------
+
+
+def test_promote_serve_demote_roundtrip():
+    ensemble, nodes, controller, router = make_tier()
+    env = ensemble.env
+
+    def scenario():
+        yield from controller.zk.connect()
+        yield from router.zk.connect()
+        yield from controller.start()
+        yield from router.zk.create("/hot", b"v0")
+        for i in range(80):
+            yield from router.update("/hot", b"w%d" % i)
+            value = yield from router.read("/hot")
+            assert value == b"w%d" % i
+            yield env.timeout(2.0)
+        assert "/hot" in router.keys, "key never promoted"
+        assert router.stats["chain_reads"] > 0
+        assert router.stats["chain_writes"] > 0
+        # every member holds the acked value (tail-ack = fully replicated)
+        yield from router.update("/hot", b"final")
+        for node in nodes:
+            assert node.store["/hot"][0] == b"final"
+        # go quiet until the hysteresis demotes, then the znode must
+        # hold the chain's final value (drain write-back).
+        for _ in range(10):
+            yield env.timeout(60.0)
+        yield from router.refresh()
+        assert "/hot" not in router.keys
+        data, _stat = yield from router.zk.get_data("/hot")
+        assert data == b"final"
+
+    drive(env, scenario())
+    assert controller.stats["promotions"] == 1
+    assert controller.stats["demotions"] == 1
+
+
+def test_chain_tail_read_is_sub_quorum_latency():
+    """A promoted read costs chain hops only — far below a ZK write."""
+    ensemble, nodes, controller, router = make_tier()
+    env = ensemble.env
+    timings = {}
+
+    def scenario():
+        yield from controller.zk.connect()
+        yield from router.zk.connect()
+        yield from controller.start()
+        yield from router.zk.create("/hot", b"v0")
+        yield from router.zk.create("/nothot", b"x")
+        for _ in range(80):
+            yield from router.read("/hot")
+            yield env.timeout(2.0)
+        assert "/hot" in router.keys
+        t0 = env.now
+        yield from router.read("/hot")
+        timings["chain_read"] = env.now - t0
+        t0 = env.now
+        yield from router.zk.set_data("/nothot", b"y")
+        timings["zk_write"] = env.now - t0
+
+    drive(env, scenario())
+    assert timings["chain_read"] < timings["zk_write"]
+
+
+# ---------------------------------------------------------------------------
+# epoch fencing
+# ---------------------------------------------------------------------------
+
+
+def test_stale_epoch_forward_is_nacked():
+    ensemble, nodes, controller, router = make_tier()
+    env, net = ensemble.env, ensemble.net
+    head, mid, tail = nodes
+    nacks = []
+    net.register("origin", lambda src, msg: nacks.append(msg))
+
+    def scenario():
+        for node in nodes:
+            node.handle_message(
+                "test", ChainConfigure(2, tuple(n.node_id for n in nodes),
+                                       ("/k",)))
+        # mid was reconfigured ahead (epoch 3 without /k's chain):
+        mid.handle_message("test", ChainConfigure(3, (mid.node_id,), ()))
+        net.send("origin", head.node_id,
+                 ChainWrite(7, "/k", b"v", "origin"))
+        yield env.timeout(5.0)
+
+    drive(env, scenario())
+    assert len(nacks) == 1 and isinstance(nacks[0], ChainNack)
+    assert nacks[0].xid == 7
+    # the tail never saw the write: no partial ack possible
+    assert "/k" not in tail.store
+
+
+def test_crashed_member_is_reconfigured_out():
+    ensemble, nodes, controller, router = make_tier()
+    env = ensemble.env
+
+    def scenario():
+        yield from controller.zk.connect()
+        yield from router.zk.connect()
+        yield from controller.start()
+        yield from router.zk.create("/hot", b"v0")
+        for _ in range(80):
+            yield from router.read("/hot")
+            yield env.timeout(2.0)
+        assert "/hot" in router.keys
+        nodes[1].crash()
+        # keep traffic flowing so reports/refreshes continue
+        for i in range(40):
+            yield from router.update("/hot", b"r%d" % i)
+            value = yield from router.read("/hot")
+            assert value == b"r%d" % i
+            yield env.timeout(10.0)
+        yield from router.refresh()
+        assert nodes[1].node_id not in router.members
+        assert len(router.members) == 2
+
+    drive(env, scenario())
+    assert controller.stats["members_dropped"] == 1
+
+
+def test_router_with_stale_config_falls_back_to_zk():
+    ensemble, nodes, controller, router = make_tier()
+    env = ensemble.env
+
+    def scenario():
+        yield from controller.zk.connect()
+        yield from router.zk.connect()
+        yield from controller.start()
+        yield from router.zk.create("/hot", b"v0")
+        for _ in range(80):
+            yield from router.read("/hot")
+            yield env.timeout(2.0)
+        assert "/hot" in router.keys
+        # Simulate the whole chain dying before any reconfiguration:
+        # the router's config is now stale and every chain RPC times
+        # out -> it must still answer from ZK and re-learn the config.
+        for node in nodes:
+            node.crash()
+        value = yield from router.read("/hot")
+        assert value == b"v0"
+        assert router.stats["fallbacks"] >= 1
+
+    drive(env, scenario())
+
+
+def test_recovered_member_rejoins_empty_and_fenced():
+    ensemble, nodes, controller, router = make_tier()
+    env = ensemble.env
+
+    def scenario():
+        yield from controller.zk.connect()
+        yield from router.zk.connect()
+        yield from controller.start()
+        yield from router.zk.create("/hot", b"v0")
+        for _ in range(80):
+            yield from router.update("/hot", b"x")
+            yield env.timeout(2.0)
+        assert "/hot" in router.keys
+        nodes[2].crash()
+        nodes[2].recover()
+        # epoch 0, no members: every data-plane message is nacked or
+        # ignored until the controller reconfigures it back in.
+        assert nodes[2].epoch == 0 and nodes[2].store == {}
+
+    drive(env, scenario())
