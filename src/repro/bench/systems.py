@@ -14,6 +14,7 @@ from ..depspace.bft import BftConfig
 from ..depspace.server import DsConfig
 from ..eds import EdsEnsemble
 from ..ezk import EzkEnsemble
+from ..raft import RaftConfig
 from ..recipes import CoordClient, DsCoordClient, ZkCoordClient
 from ..zk import ZkEnsemble
 from ..zk.server import ZkConfig
@@ -41,7 +42,8 @@ def make_ensemble(kind: str, seed: int = 11, **kwargs):
     return ensemble
 
 
-def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3):
+def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3,
+                        kernel: Optional[str] = None):
     """Ensemble + connected raw clients tuned for the chaos harness.
 
     ZK-family ensembles run with ``local_reads`` and one observer so
@@ -52,11 +54,19 @@ def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3):
     cannot distinguish from real violations). Clients connect before
     this returns — the harness injects faults into running workloads,
     not into bootstrap.
+
+    ``kernel`` selects the consensus kernel (``None`` keeps the family
+    default: Zab for ZK, PBFT for DS). ``"raft"`` runs the same
+    ensembles over :mod:`repro.raft`, seeding the election-timeout RNG
+    from the schedule seed so replays stay byte-identical.
     """
     if kind in ("zk", "ezk"):
         cls = ZkEnsemble if kind == "zk" else EzkEnsemble
-        ensemble = cls(n_replicas=3, seed=seed,
-                       config=ZkConfig(local_reads=True), n_observers=1)
+        config = ZkConfig(local_reads=True)
+        if kernel is not None and kernel != "zab":
+            config.kernel = kernel
+            config.raft = RaftConfig(seed=seed)
+        ensemble = cls(n_replicas=3, seed=seed, config=config, n_observers=1)
         ensemble.start()
         raw = [ensemble.client(session_timeout_ms=8000.0)
                for _ in range(n_clients)]
@@ -72,9 +82,12 @@ def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3):
         # Status gossip on: without PBFT's checkpoint stand-in a replica
         # healed from a partition after the last client request never
         # learns it missed a view (liveness, not figure-relevant).
-        ensemble = cls(f=1, seed=seed,
-                       config=DsConfig(lease_ms=8000.0,
-                                       bft=BftConfig(status_interval_ms=500.0)))
+        config = DsConfig(lease_ms=8000.0,
+                          bft=BftConfig(status_interval_ms=500.0))
+        if kernel is not None and kernel != "pbft":
+            config.kernel = kernel
+            config.raft = RaftConfig(seed=seed)
+        ensemble = cls(f=1, seed=seed, config=config)
         ensemble.start()
         raw = [ensemble.client() for _ in range(n_clients)]
     else:

@@ -65,6 +65,17 @@ ZIPF_HOT_MIX = {"read": 0.95, "write": 0.05}
 GUARD_THRESHOLD = 0.30
 
 
+def _consensus_config(kernel: str):
+    """ZkConfig selecting the consensus kernel; None for the Zab default.
+
+    Returning None for "zab" keeps the default rows byte-identical to
+    historical runs (the ensembles see no config object at all)."""
+    if kernel == "zab":
+        return None
+    from ..zk.server import ZkConfig
+    return ZkConfig(kernel=kernel)
+
+
 def _batched_config():
     """A ZkConfig with Zab batching enabled, or None pre-batching."""
     from ..zk.server import ZkConfig
@@ -105,13 +116,17 @@ def measure_queue(kind: str, config=None, repeat: int = 3,
     return best
 
 
-def run_bench(repeat: int = 3, include_batched: bool = True
-              ) -> Dict[str, Dict[str, float]]:
-    """Measure every system; adds ``<kind>+batch`` rows when available."""
+def run_bench(repeat: int = 3, include_batched: bool = True,
+              kernel: str = "zab") -> Dict[str, Dict[str, float]]:
+    """Measure every system; adds ``<kind>+batch`` rows when available.
+
+    ``kernel`` selects the consensus backend ("zab"/"raft"); batched
+    rows are a Zab knob and are skipped for other kernels."""
+    consensus = _consensus_config(kernel)
     rows: Dict[str, Dict[str, float]] = {}
     for kind in SYSTEMS:
-        rows[kind] = measure_queue(kind, repeat=repeat)
-    if include_batched:
+        rows[kind] = measure_queue(kind, config=consensus, repeat=repeat)
+    if include_batched and kernel == "zab":
         config = _batched_config()
         if config is not None:
             for kind in SYSTEMS:
@@ -122,7 +137,8 @@ def run_bench(repeat: int = 3, include_batched: bool = True
 
 def measure_read_heavy(kind: str, scaled: bool, repeat: int = 3,
                        clients: int = CLIENTS,
-                       measure_ms: float = MEASURE_MS) -> Dict[str, float]:
+                       measure_ms: float = MEASURE_MS,
+                       config=None) -> Dict[str, float]:
     """One read-heavy cell: leader-only baseline or read-scaled config."""
     best = None
     for _ in range(repeat):
@@ -131,7 +147,7 @@ def measure_read_heavy(kind: str, scaled: bool, repeat: int = 3,
             kind, clients, measure_ms=measure_ms,
             local_reads=scaled,
             n_observers=READ_OBSERVERS if scaled else 0,
-            pin_leader=not scaled)
+            pin_leader=not scaled, config=config)
         wall_s = time.perf_counter() - start
         if best is None or wall_s < best["wall_s"]:
             best = {
@@ -149,12 +165,15 @@ def measure_read_heavy(kind: str, scaled: bool, repeat: int = 3,
     return best
 
 
-def run_read_bench(repeat: int = 3) -> Dict[str, Dict]:
+def run_read_bench(repeat: int = 3, kernel: str = "zab") -> Dict[str, Dict]:
     """Leader-only vs read-scaled rows per system, plus the scaling ratio."""
+    config = _consensus_config(kernel)
     rows: Dict[str, Dict] = {}
     for kind in SYSTEMS:
-        leader_only = measure_read_heavy(kind, scaled=False, repeat=repeat)
-        scaled = measure_read_heavy(kind, scaled=True, repeat=repeat)
+        leader_only = measure_read_heavy(kind, scaled=False, repeat=repeat,
+                                         config=config)
+        scaled = measure_read_heavy(kind, scaled=True, repeat=repeat,
+                                    config=config)
         rows[kind] = {
             "leader_only": leader_only,
             "local_reads+2obs": scaled,
@@ -363,6 +382,14 @@ def run_guard(payload: dict, threshold: float = GUARD_THRESHOLD) -> int:
     for kind in SYSTEMS:
         check(f"fig8:{kind}", current.get(kind),
               measure_queue(kind, repeat=2))
+    # The Raft consensus kernel shares the guard: a regression confined
+    # to the non-default backend must fail the same check. Rows are
+    # recorded by ``--workload fig8-queue --kernel raft``.
+    raft_rows = payload.get("raft", {})
+    for kind in SYSTEMS:
+        check(f"raft:{kind}", raft_rows.get(kind),
+              measure_queue(kind, config=_consensus_config("raft"),
+                            repeat=2))
     kernel_rows = payload.get("kernel", {})
     for kernel in ("heap", "calendar"):
         check(f"kernel:{kernel}", kernel_rows.get(kernel),
@@ -397,6 +424,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--workload", choices=WORKLOADS,
                         default="fig8-queue",
                         help="driver to measure (default: fig8-queue)")
+    parser.add_argument("--kernel", choices=("zab", "raft"), default="zab",
+                        help="consensus backend for the fig8-queue and "
+                             "read-heavy drivers (default: zab; raft rows "
+                             "are recorded in their own sections)")
     parser.add_argument("--guard", action="store_true",
                         help="re-measure and fail if events/wall-s dropped "
                              f">{GUARD_THRESHOLD:.0%} below recorded rows")
@@ -460,9 +491,11 @@ def main(argv: Optional[list] = None) -> int:
         return 0
 
     if args.workload == "read-heavy":
-        rows = run_read_bench(repeat=args.repeat)
+        rows = run_read_bench(repeat=args.repeat, kernel=args.kernel)
         payload = _load(args.output)
-        payload["read_heavy"] = {
+        section = ("read_heavy" if args.kernel == "zab"
+                   else f"read_heavy_{args.kernel}")
+        payload[section] = {
             "clients": CLIENTS,
             "measure_ms": MEASURE_MS,
             "observers": READ_OBSERVERS,
@@ -477,8 +510,20 @@ def main(argv: Optional[list] = None) -> int:
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         return 0
 
-    rows = run_bench(repeat=args.repeat, include_batched=not args.baseline)
+    rows = run_bench(repeat=args.repeat, include_batched=not args.baseline,
+                     kernel=args.kernel)
     payload = _load(args.output)
+    if args.kernel != "zab":
+        # Non-default kernels live in their own section: the baseline /
+        # current / speedup bookkeeping below tracks the Zab default.
+        payload[args.kernel] = rows
+        for kind, row in rows.items():
+            print(f"  {args.kernel}:{kind:<6} "
+                  f"events/s={row['events_per_wall_s']:>12.1f}  "
+                  f"sim tput={row['sim_ops_per_s']:>9.1f} ops/s  "
+                  f"lat={row['mean_latency_ms']:.3f} ms")
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        return 0
     payload.setdefault("workload", "fig8-queue")
     payload.setdefault("clients", CLIENTS)
     payload.setdefault("measure_ms", MEASURE_MS)

@@ -10,6 +10,7 @@ operation.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 from dataclasses import dataclass, field
@@ -375,7 +376,7 @@ def run_read_heavy_workload(
         object_bytes: int = 256, warmup_ms: float = 100.0,
         measure_ms: float = 500.0, seed: int = 37,
         local_reads: bool = False, n_observers: int = 0,
-        pin_leader: bool = False) -> WorkloadResult:
+        pin_leader: bool = False, config=None) -> WorkloadResult:
     """Fig-13-style regular clients, but read-dominated (default 90/10).
 
     Each client loops over its own 256-byte object, choosing read vs
@@ -387,16 +388,22 @@ def run_read_heavy_workload(
     * ``local_reads`` turns on session-consistent local reads (ZK
       family) or the BFT-SMaRt unordered-read optimization (DS family);
     * ``n_observers`` adds non-voting learners (ZK family only), which
-      the ensemble's client spread then exercises.
+      the ensemble's client spread then exercises;
+    * ``config`` overrides the service config wholesale (e.g. a
+      ``ZkConfig(kernel="raft")`` for the consensus-kernel comparison);
+      ``local_reads`` is then applied on top of it.
 
     Extras carry split read/write latencies, in-window op counts, and
     ``sim_events`` for the wall-clock bench.
     """
     kwargs = {}
+    if config is not None:
+        kwargs["config"] = config
     if kind in ("zk", "ezk"):
         if local_reads:
             from ..zk.server import ZkConfig
-            kwargs["config"] = ZkConfig(local_reads=True)
+            kwargs["config"] = dataclasses.replace(
+                config or ZkConfig(), local_reads=True)
         if n_observers:
             kwargs["n_observers"] = n_observers
     else:
@@ -405,7 +412,8 @@ def run_read_heavy_workload(
                 "observers / leader pinning apply to the ZK family only")
         if local_reads:
             from ..depspace.server import DsConfig
-            kwargs["config"] = DsConfig(unordered_reads=True)
+            kwargs["config"] = dataclasses.replace(
+                config or DsConfig(), unordered_reads=True)
     ensemble = make_ensemble(kind, seed=seed, **kwargs)
     replica = ensemble.replica_ids[0] if pin_leader else None
     coords, raw = make_coords(ensemble, kind, n_clients, replica=replica)

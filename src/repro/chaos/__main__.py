@@ -24,6 +24,10 @@ def main(argv=None) -> int:
     parser.add_argument("--recipe", required=True,
                         choices=RECIPES + SESSION_SCENARIOS)
     parser.add_argument("--seed", required=True, type=int)
+    parser.add_argument("--kernel", choices=("zab", "pbft", "raft"),
+                        default=None,
+                        help="consensus kernel (default: family default — "
+                             "zab for zk/ezk, pbft for ds/eds)")
     parser.add_argument("--clients", type=int, default=3)
     parser.add_argument("--ops", type=int, default=4)
     parser.add_argument("--rounds", type=int, default=3)
@@ -32,11 +36,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.recipe in SESSION_SCENARIOS:
-        run = run_session_chaos(args.system, args.recipe, args.seed)
+        run = run_session_chaos(args.system, args.recipe, args.seed,
+                                kernel=args.kernel)
     else:
         run = run_chaos(args.system, args.recipe, args.seed,
                         n_clients=args.clients, ops_per_client=args.ops,
-                        rounds=args.rounds)
+                        rounds=args.rounds, kernel=args.kernel)
     print(f"# {run.repro}")
     print("-- schedule --")
     print(run.schedule.describe())

@@ -56,9 +56,15 @@ _RETRY_PAUSE_MS = 400.0
 _OP_RETRIES = 5
 
 
-def repro_line(system: str, recipe: str, seed: int) -> str:
-    return (f"PYTHONPATH=src python -m repro.chaos "
+def repro_line(system: str, recipe: str, seed: int,
+               kernel: Optional[str] = None) -> str:
+    line = (f"PYTHONPATH=src python -m repro.chaos "
             f"--system {system} --recipe {recipe} --seed {seed}")
+    # Default-kernel lines stay exactly as they always were, so repro
+    # lines recorded before the kernel axis existed replay unchanged.
+    if kernel is not None:
+        line += f" --kernel {kernel}"
+    return line
 
 
 @dataclasses.dataclass
@@ -71,6 +77,8 @@ class ChaosRun:
     result: CheckResult
     nemesis_log: List[str]
     repro: str
+    #: consensus kernel the cell ran over (None = the family default).
+    kernel: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -308,15 +316,19 @@ class _Workload:
 def run_chaos(system: str, recipe: str, seed: int, n_clients: int = 3,
               ops_per_client: int = 4, rounds: int = 3,
               schedule: Optional[Schedule] = None,
-              nemesis_cls=Nemesis) -> ChaosRun:
-    """One cell of the chaos matrix; returns history + checker verdict."""
+              nemesis_cls=Nemesis, kernel: Optional[str] = None) -> ChaosRun:
+    """One cell of the chaos matrix; returns history + checker verdict.
+
+    ``kernel`` adds the consensus-kernel axis: ``"raft"`` runs the same
+    cell over the Raft backend (``None`` keeps the family default).
+    """
     if recipe not in RECIPES:
         raise ValueError(f"unknown recipe {recipe!r}")
     schedule = schedule or random_schedule(seed)
-    repro = repro_line(system, recipe, seed)
+    repro = repro_line(system, recipe, seed, kernel=kernel)
 
     ensemble, raw = make_chaos_ensemble(system, seed=seed,
-                                        n_clients=n_clients)
+                                        n_clients=n_clients, kernel=kernel)
     env = ensemble.env
     history = History()
     coords = [RecordingCoord(c, history, f"c{i}", env)
@@ -339,23 +351,23 @@ def run_chaos(system: str, recipe: str, seed: int, n_clients: int = 3,
         return ChaosRun(system, recipe, seed, schedule, history,
                         CheckResult(False, f"liveness: workers {stuck} "
                                            f"stuck at t={env.now:g}ms"),
-                        nemesis.log, repro)
+                        nemesis.log, repro, kernel=kernel)
 
     env.run(until=env.now + _SETTLE_MS)
     finisher = env.process(workload.finisher())
     if not _run_to(env, finisher, env.now + _DEADLINE_MARGIN_MS):
         return ChaosRun(system, recipe, seed, schedule, history,
                         CheckResult(False, "liveness: final phase stuck"),
-                        nemesis.log, repro)
+                        nemesis.log, repro, kernel=kernel)
 
     consistent = _await_consistency(ensemble)
     if not consistent:
         return ChaosRun(system, recipe, seed, schedule, history,
                         CheckResult(False, "replicas diverged after heal"),
-                        nemesis.log, repro)
+                        nemesis.log, repro, kernel=kernel)
 
     return ChaosRun(system, recipe, seed, schedule, history,
-                    workload.check(history), nemesis.log, repro)
+                    workload.check(history), nemesis.log, repro, kernel=kernel)
 
 
 def _adapt(system: str, raw) -> list:

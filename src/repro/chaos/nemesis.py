@@ -30,12 +30,19 @@ class _ZkAdapter:
     harness crashes voters to exercise elections; observer faults are
     covered by partitions, which pick from all nodes)."""
 
-    #: payload classes carrying replication traffic (drop/delay bursts).
-    replication_msg_types = ("Proposal", "BatchProposal", "Commit",
-                             "Heartbeat", "NewLeader")
+    #: payload classes carrying replication traffic (drop/delay bursts),
+    #: per consensus kernel. For Raft, AppendEntries doubles as
+    #: heartbeat/backfill and InstallSnapshot as the full-sync analog.
+    _MSG_TYPES = {
+        "zab": ("Proposal", "BatchProposal", "Commit",
+                "Heartbeat", "NewLeader"),
+        "raft": ("AppendEntries", "InstallSnapshot"),
+    }
 
     def __init__(self, ensemble: ZkEnsemble):
         self.ensemble = ensemble
+        kernel = getattr(ensemble.config, "kernel", "zab")
+        self.replication_msg_types = self._MSG_TYPES[kernel]
 
     @property
     def voter_ids(self) -> List[str]:
@@ -69,10 +76,15 @@ class _ZkAdapter:
 class _DsAdapter:
     """DepSpace family: all 3f+1 replicas vote; the primary 'leads'."""
 
-    replication_msg_types = ("PrePrepare", "Prepare", "Commit")
+    _MSG_TYPES = {
+        "pbft": ("PrePrepare", "Prepare", "Commit"),
+        "raft": ("AppendEntries", "InstallSnapshot"),
+    }
 
     def __init__(self, ensemble: DsEnsemble):
         self.ensemble = ensemble
+        kernel = getattr(ensemble.config, "kernel", "pbft")
+        self.replication_msg_types = self._MSG_TYPES[kernel]
 
     @property
     def voter_ids(self) -> List[str]:

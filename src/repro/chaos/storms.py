@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import List
 
 from ..ezk import EzkEnsemble
+from ..raft import RaftConfig
 from ..zk import SessionExpiredError, ZkEnsemble, ZkError
 from ..zk.leases import LeaseConfig
 from ..zk.server import ZkConfig
@@ -301,8 +302,12 @@ def _lease_reader(nemesis: Nemesis, action, storm_id: int, i: int):
 
 
 def run_session_chaos(system: str, scenario: str, seed: int,
-                      schedule: Schedule = None):
-    """One storm cell: scenario × system × seeded storm schedule."""
+                      schedule: Schedule = None, kernel: str = None):
+    """One storm cell: scenario × system × seeded storm schedule.
+
+    ``kernel`` adds the consensus-kernel axis (``"raft"`` runs the same
+    storm over the Raft backend; ``None`` keeps Zab).
+    """
     if scenario not in SESSION_SCENARIOS:
         raise ValueError(f"unknown storm scenario {scenario!r}")
     if system not in ("zk", "ezk"):
@@ -311,13 +316,19 @@ def run_session_chaos(system: str, scenario: str, seed: int,
     schedule = schedule or random_storm_schedule(seed, scenario)
     repro = (f"PYTHONPATH=src python -m repro.chaos "
              f"--system {system} --recipe {scenario} --seed {seed}")
+    if kernel is not None:
+        # Historical (pre-kernel-axis) repro lines stay byte-identical.
+        repro += f" --kernel {kernel}"
 
     cls = ZkEnsemble if system == "zk" else EzkEnsemble
     # Leases only in the lease scenario: churn/watch runs must replay
     # byte-identically against their historical (system, seed) cells.
     leases = _STORM_LEASES if scenario == "lease_storm" else None
-    ensemble = cls(n_replicas=3, seed=seed,
-                   config=ZkConfig(local_reads=True, leases=leases),
+    config = ZkConfig(local_reads=True, leases=leases)
+    if kernel is not None and kernel != "zab":
+        config.kernel = kernel
+        config.raft = RaftConfig(seed=seed)
+    ensemble = cls(n_replicas=3, seed=seed, config=config,
                    n_observers=1)
     ensemble.start()
     env = ensemble.env
@@ -345,7 +356,7 @@ def run_session_chaos(system: str, scenario: str, seed: int,
 
     def verdict(result: CheckResult) -> ChaosRun:
         return ChaosRun(system, scenario, seed, schedule, History(),
-                        result, nemesis.log, repro)
+                        result, nemesis.log, repro, kernel=kernel)
 
     if not _run_to(env, env.all_of(workers), deadline):
         return verdict(CheckResult(
@@ -373,8 +384,8 @@ def run_session_chaos(system: str, scenario: str, seed: int,
     leader = ensemble.leader
     if leader is None:
         return verdict(CheckResult(False, "no leader after quiesce"))
-    committed = [r for r in leader.zab.log
-                 if r.zxid <= leader.zab.committed_zxid]
+    committed = [r for r in leader.broadcast.log
+                 if r.zxid <= leader.broadcast.committed_zxid]
     owners = {
         server.node_id: set(server.tree._ephemerals)
         for server in ensemble.servers if server._alive

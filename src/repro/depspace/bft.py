@@ -187,6 +187,12 @@ class BftPeer:
     def is_primary(self) -> bool:
         return self.primary_id == self.node_id
 
+    @property
+    def leadership_epoch(self) -> int:
+        """Fencing token per the :class:`~repro.core.broadcast.AtomicBroadcast`
+        contract: views count from 0, epochs from 1."""
+        return self.view + 1
+
     def _fan_out(self, msg: object) -> None:
         """Send ``msg`` to every other replica.
 

@@ -22,10 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..core.broadcast import DS_KERNELS
 from ..core.errors import ExtensionError
+from ..raft import RaftConfig
 from ..sim import Environment, FifoResource, Network
 from .access import AccessControl, AccessDeniedError
 from .bft import BftConfig, BftPeer, BftRequest, RequestId
+from .ordering import RaftOrdering
 from .policy import Policy, PolicyViolationError
 from .protocol import (CasOp, DsOp, DsReply, InOp, InpOp, OutOp, RdAllOp,
                        RdOp, RdpOp, RenewOp, ReplaceOp, StateRequest,
@@ -62,6 +65,11 @@ class DsConfig:
     #: f+1) matching replies. Off by default — the paper's DepSpace
     #: numbers are reproduced without it (see the ablation benchmark).
     unordered_reads: bool = False
+    #: ordering kernel: ``"pbft"`` (default, Byzantine fault tolerant)
+    #: or ``"raft"`` (crash-only, see :mod:`repro.depspace.ordering`).
+    kernel: str = "pbft"
+    #: Raft kernel tuning when ``kernel="raft"`` (None = defaults).
+    raft: Optional[RaftConfig] = None
 
 
 @dataclass
@@ -106,11 +114,24 @@ class DsReplica:
         #: last reply per client, resent on duplicate requests.
         self._reply_cache: Dict[str, DsReply] = {}
 
-        self.bft = BftPeer(env, node_id, replica_ids,
-                           send=self._bft_send, execute=self._execute_request,
-                           config=self.config.bft,
-                           send_many=self._bft_send_many)
-        self.bft.on_gap = self._on_gap
+        kernel = getattr(self.config, "kernel", "pbft")
+        if kernel == "pbft":
+            self.ordering = BftPeer(env, node_id, replica_ids,
+                                    send=self._bft_send,
+                                    execute=self._execute_request,
+                                    config=self.config.bft,
+                                    send_many=self._bft_send_many)
+        elif kernel == "raft":
+            self.ordering = RaftOrdering(env, node_id, replica_ids,
+                                         send=self._bft_send,
+                                         execute=self._execute_request,
+                                         config=self.config.bft,
+                                         raft_config=self.config.raft,
+                                         send_many=self._bft_send_many)
+        else:
+            raise ValueError(f"unknown kernel {kernel!r} (expected one "
+                             f"of {DS_KERNELS})")
+        self.ordering.on_gap = self._on_gap
 
         # EDS hooks (wired by repro.eds; None = plain DepSpace).
         #: (request, ts, replica, events) -> None | (consumed, value);
@@ -138,6 +159,13 @@ class DsReplica:
 
     # -- administration ----------------------------------------------------
 
+    @property
+    def bft(self):
+        """Back-compat alias: the ordering kernel endpoint (historically
+        always a :class:`BftPeer`; ``kernel="raft"`` makes it a
+        :class:`~repro.depspace.ordering.RaftOrdering`)."""
+        return self.ordering
+
     def space(self, name: str = "main") -> TupleSpace:
         if name not in self.spaces:
             self.spaces[name] = TupleSpace()
@@ -154,12 +182,14 @@ class DsReplica:
     def crash(self) -> None:
         self._alive = False
         self.net.crash(self.node_id)
-        self.bft.crash()
+        self.ordering.crash()
 
     def recover(self) -> None:
         self._alive = True
         self.net.recover(self.node_id)
-        self.bft.recover()
+        self.ordering.recover()
+        if self.config.kernel != "pbft":
+            return  # the Raft leader backfills recovered replicas itself
         self._resync_generation += 1
         self.env.process(self._resync_loop(self._resync_generation))
 
@@ -182,7 +212,7 @@ class DsReplica:
         while (self._alive and not self._state_synced
                and generation == self._resync_generation):
             self.net.send(self.node_id, peers[attempt % len(peers)],
-                          StateRequest(self.bft._exec_seq))
+                          StateRequest(self.ordering._exec_seq))
             attempt += 1
             yield self.env.timeout(self.config.bft.request_timeout_ms)
 
@@ -210,7 +240,7 @@ class DsReplica:
         if isinstance(msg, StateResponse):
             self._on_state_response(src, msg)
             return
-        self.bft.handle(src, msg)
+        self.ordering.handle(src, msg)
 
     # -- request intake ----------------------------------------------------
 
@@ -220,14 +250,14 @@ class DsReplica:
                                    + self.timings.fast_read_ms)
             work.add_callback(lambda _e: self._execute_fast_read(request))
             return
-        if request.request_id in self.bft._executed_ids:
+        if request.request_id in self.ordering._executed_ids:
             cached = self._reply_cache.get(request.request_id.client_id)
             if (cached is not None and cached.request_key
                     == (request.request_id.client_id, request.request_id.seq)):
                 self.net.send(self.node_id, src, cached)
             return
         work = self.cpu.submit(self.timings.verify_ms + self.timings.order_ms)
-        work.add_callback(lambda _e: self.bft.on_request(request))
+        work.add_callback(lambda _e: self.ordering.on_request(request))
 
     def _is_fast_read(self, request: BftRequest) -> bool:
         if not self.config.unordered_reads:
@@ -465,7 +495,9 @@ class DsReplica:
         self.env.process(self._resync_loop(self._resync_generation))
 
     def _on_state_request(self, src: str, msg: StateRequest) -> None:
-        if not self.bft.exec_truthful:
+        if self.config.kernel != "pbft":
+            return  # no snapshot protocol: the kernel backfills itself
+        if not self.ordering.exec_truthful:
             # A view-change horizon skip advances exec_seq *before* the
             # matching snapshot arrives, so right now our spaces and
             # executed-ids lag the sequence number we would advertise.
@@ -477,9 +509,9 @@ class DsReplica:
             return
         snapshot = {
             "spaces": {name: sp.snapshot() for name, sp in self.spaces.items()},
-            "exec_seq": self.bft._exec_seq,
-            "executed_ids": set(self.bft._executed_ids),
-            "view": self.bft.view,
+            "exec_seq": self.ordering._exec_seq,
+            "executed_ids": set(self.ordering._executed_ids),
+            "view": self.ordering.view,
             # Blocked waiters are part of replicated state: they are
             # registered by ordered ops and consumed deterministically
             # by later inserts. A receiver that misses them would skip
@@ -490,16 +522,18 @@ class DsReplica:
         }
         fingerprint = self.fingerprint()
         self.net.send(self.node_id, src,
-                      StateResponse(self.bft._exec_seq, snapshot, fingerprint))
+                      StateResponse(self.ordering._exec_seq, snapshot, fingerprint))
 
     def _on_state_response(self, src: str, msg: StateResponse) -> None:
-        if msg.upto_seq < self.bft._exec_seq:
+        if self.config.kernel != "pbft":
+            return
+        if msg.upto_seq < self.ordering._exec_seq:
             # The donor is behind us. If our own state is sound we are
             # provably not the replica that needs a snapshot — stop
             # polling (stall detection restarts the chase if commits
             # later show we fell behind). If we skipped, keep rotating
             # until a donor at or past our skip target answers.
-            if self.bft.exec_truthful:
+            if self.ordering.exec_truthful:
                 self._state_synced = True
             return
         self._state_synced = True
@@ -509,7 +543,7 @@ class DsReplica:
                          for name, ws in msg.snapshot.get("waiters",
                                                           {}).items()}
         self._reply_cache.update(msg.snapshot.get("reply_cache", {}))
-        bft = self.bft
+        bft = self.ordering
         bft._exec_seq = msg.snapshot["exec_seq"]
         bft._executed_ids = set(msg.snapshot["executed_ids"])
         bft._next_seq = max(bft._next_seq, bft._exec_seq)

@@ -194,7 +194,7 @@ class EzkBinding:
             txn = proxy.to_multi_txn()
             if txn.txns:
                 server._apply_to_spec(txn)
-                server.zab.propose(txn, None)
+                server.broadcast.propose(txn, None)
 
     def _handle_em_event(self, event: StateEvent) -> None:
         relative = event.path[len(EM_ROOT) + 1:]

@@ -1,0 +1,18 @@
+"""Raft consensus — the third :class:`~repro.core.broadcast.AtomicBroadcast`
+kernel (alongside Zab and PBFT).
+
+Payload-agnostic by construction: the peer stamps and replicates opaque
+records built by an injectable ``record_factory``, so the same kernel
+carries ZooKeeper transactions (``repro.zk`` with
+``ZkConfig(kernel="raft")``) and DepSpace tuple-space requests
+(``repro.depspace`` with ``DsConfig(kernel="raft")``) without this
+package importing either family.
+"""
+
+from .peer import (AppendEntries, AppendReply, InstallSnapshot, RaftConfig,
+                   RaftEntry, RaftPeer, RaftRole, RequestVote, SnapshotReply,
+                   VoteReply)
+
+__all__ = ["RaftConfig", "RaftPeer", "RaftRole", "RaftEntry", "RequestVote",
+           "VoteReply", "AppendEntries", "AppendReply", "InstallSnapshot",
+           "SnapshotReply"]

@@ -59,8 +59,10 @@ from .txn import (ClientReply, ClientRequest, CloseSessionOp, CloseSessionTxn,
                   SetDataOp, SetDataTxn, SyncOp, Txn, TxnRecord,
                   WatchNotification, ZxidReply, ZxidWatchNotification,
                   is_update)
+from ..core.broadcast import make_zk_kernel
+from ..raft import RaftConfig
 from .watches import EventType, WatchEvent, WatchManager
-from .zab import ZabConfig, ZabPeer
+from .zab import ZabConfig
 
 __all__ = ["ZkTimings", "ZkConfig", "ZkServer", "Forward", "SessionPing",
            "InterceptResult", "StateEvent"]
@@ -80,7 +82,14 @@ class ZkTimings:
 @dataclass
 class ZkConfig:
     timings: ZkTimings = field(default_factory=ZkTimings)
+    #: consensus kernel behind the AtomicBroadcast interface: "zab"
+    #: (the default, byte-identical to the pre-interface build) or
+    #: "raft". The tree server, sessions, watches, leases and reads
+    #: are kernel-agnostic — they program against the contract.
+    kernel: str = "zab"
     zab: ZabConfig = field(default_factory=ZabConfig)
+    #: Raft tuning; None applies RaftConfig() when kernel="raft".
+    raft: Optional[RaftConfig] = None
     session_timeout_ms: float = 2000.0
     expiry_sweep_ms: float = 100.0
     #: Session-consistent local reads (ZooKeeper's real read path).
@@ -209,17 +218,23 @@ class ZkServer:
         #: bootstrap leader's very first sweeps behave exactly as before.
         self._expiry_paused = False
 
-        # An observer's Zab endpoint lists the voting replicas as its
-        # peers but never votes or acks; a voter additionally knows the
-        # observers so it can stream to them when it leads.
+        # An observer's broadcast endpoint lists the voting replicas as
+        # its peers but never votes or acks; a voter additionally knows
+        # the observers so it can stream to them when it leads. The
+        # kernel behind the AtomicBroadcast interface is selected by
+        # ``config.kernel`` — Zab (the default) or Raft; every call
+        # site below goes through the contract, never the protocol.
         voting = peer_ids if is_observer else [node_id] + list(peer_ids)
-        self.zab = ZabPeer(env, node_id, voting,
-                           send=self._zab_send, deliver=self._on_deliver,
-                           config=self.config.zab,
-                           observer_ids=observer_ids,
-                           is_observer=is_observer,
-                           send_many=self._zab_send_many)
-        self.zab.on_role_change = self._on_role_change
+        self.broadcast = make_zk_kernel(
+            env, node_id, voting, send=self._zab_send,
+            deliver=self._on_deliver, config=self.config,
+            observer_ids=observer_ids, is_observer=is_observer,
+            send_many=self._zab_send_many,
+            # Raft's post-election barrier entry: an error txn with no
+            # meta applies as a no-op (no reply, no tree change) but
+            # still advances the zxid stream gaplessly.
+            noop_txn=lambda: ErrorTxn("CONNECTION_LOSS", "leader barrier"))
+        self.broadcast.on_role_change = self._on_role_change
         self._spec_tree: Optional[DataTree] = None
 
         # EZK hooks (see module docstring).
@@ -250,26 +265,32 @@ class ZkServer:
 
     def start(self, leader_id: str) -> None:
         """Bootstrap with a known initial leader (no election round)."""
-        self.zab.bootstrap(leader_id)
+        self.broadcast.bootstrap(leader_id)
         self._on_role_change()
 
     @property
     def is_leader(self) -> bool:
-        return self.zab.is_leader
+        return self.broadcast.is_leader
+
+    @property
+    def zab(self):
+        """Historical alias for :attr:`broadcast` (which, despite the
+        name, may be any AtomicBroadcast kernel — see ``config.kernel``)."""
+        return self.broadcast
 
     # -- fault injection ---------------------------------------------------
 
     def crash(self) -> None:
         self._alive = False
         self.net.crash(self.node_id)
-        self.zab.crash()
+        self.broadcast.crash()
         self._parked_reads.clear()
         self._lease_waits.clear()
 
     def recover(self) -> None:
         self._alive = True
         self.net.recover(self.node_id)
-        self.zab.recover()
+        self.broadcast.recover()
         if self.on_recover is not None:
             self.on_recover(self)
 
@@ -281,7 +302,7 @@ class ZkServer:
         # Client traffic dominates; dispatch it before the Zab ladder.
         if isinstance(msg, ClientRequest):
             self._on_client_request(src, msg)
-        elif self.zab.handle(src, msg):
+        elif self.broadcast.handle(src, msg):
             return
         elif isinstance(msg, Forward):
             self._on_forward(msg)
@@ -315,7 +336,7 @@ class ZkServer:
             return False
         if self.sessions.is_closed(session_id):
             return True
-        return self.zab.is_leader and session_id in self._closing_sessions
+        return self.broadcast.is_leader and session_id in self._closing_sessions
 
     def _on_client_request(self, src: str, req: ClientRequest) -> None:
         op = req.op
@@ -344,22 +365,22 @@ class ZkServer:
 
     def _on_ping(self, src: str, req: ClientRequest) -> None:
         self.local_sessions.setdefault(req.session_id, src)
-        if self.zab.is_leader:
+        if self.broadcast.is_leader:
             self.heartbeats.touch(req.session_id, self.env.now)
-        elif self.zab.leader_id is not None:
-            self.net.send(self.node_id, self.zab.leader_id,
+        elif self.broadcast.leader_id is not None:
+            self.net.send(self.node_id, self.broadcast.leader_id,
                           SessionPing(req.session_id))
         self._reply(src, ClientReply(req.xid, ok=True, value="pong"))
 
     def _route_update(self, meta: RequestMeta, req: ClientRequest) -> None:
         self.local_sessions[req.session_id] = meta.client_node
-        if self.zab.is_leader:
+        if self.broadcast.is_leader:
             if self._lease_table is not None:
                 self._gate_or_prep(meta, req.op)
             else:
                 self._enter_prep(meta, req.op)
-        elif self.zab.leader_id is not None:
-            self.net.send(self.node_id, self.zab.leader_id,
+        elif self.broadcast.leader_id is not None:
+            self.net.send(self.node_id, self.broadcast.leader_id,
                           Forward(req, self.node_id, meta.client_node))
         else:
             self._reply_error(meta, ConnectionLossError("no leader known"))
@@ -367,7 +388,7 @@ class ZkServer:
     def _on_forward(self, fwd: Forward) -> None:
         meta = RequestMeta(fwd.origin_replica, fwd.client_node,
                            fwd.request.session_id, fwd.request.xid)
-        if not self.zab.is_leader:
+        if not self.broadcast.is_leader:
             # Stale forward (leadership moved): bounce an error so the
             # client retries against the new topology.
             self._reply_error(meta, ConnectionLossError("not the leader"))
@@ -389,10 +410,10 @@ class ZkServer:
     def _route_sync(self, meta: RequestMeta, req: ClientRequest) -> None:
         """ZooKeeper ``sync``: a flush to the leader with no transaction."""
         self.local_sessions[meta.session_id] = meta.client_node
-        if self.zab.is_leader:
+        if self.broadcast.is_leader:
             self._answer_sync(meta)
-        elif self.zab.leader_id is not None:
-            self.net.send(self.node_id, self.zab.leader_id,
+        elif self.broadcast.leader_id is not None:
+            self.net.send(self.node_id, self.broadcast.leader_id,
                           Forward(req, self.node_id, meta.client_node))
         else:
             self._reply_error(meta, ConnectionLossError("no leader known"))
@@ -411,10 +432,10 @@ class ZkServer:
     def _finish_sync(self, meta: RequestMeta) -> None:
         if not self._alive:
             return
-        if not self.zab.is_leader:
+        if not self.broadcast.is_leader:
             self._reply_error(meta, ConnectionLossError("leadership moved"))
             return
-        zxid = self.zab.committed_zxid
+        zxid = self.broadcast.sync_barrier()
         self._reply(meta.client_node,
                     ZxidReply(meta.xid, True, zxid, zxid=zxid))
 
@@ -503,7 +524,7 @@ class ZkServer:
         if not self._note_heat(op.path):
             return False          # cold key: plain read, no leader traffic
         zxid = self._applied_zxid
-        if self.zab.is_leader:
+        if self.broadcast.is_leader:
             lease = self._leader_grant(meta.session_id, meta.client_node,
                                        op.path)
             if lease is None:
@@ -513,9 +534,9 @@ class ZkServer:
             self._reply(meta.client_node, LeasedReply(
                 meta.xid, True, value, zxid=zxid,
                 lease_id=lease.lease_id, lease_expires_at=lease.expires_at,
-                lease_epoch=self.zab.epoch))
+                lease_epoch=self.broadcast.leadership_epoch))
             return True
-        leader = self.zab.leader_id
+        leader = self.broadcast.leader_id
         if leader is None:
             return False
         # Park the reply and ask the leader; a timeout answers plain so
@@ -557,7 +578,7 @@ class ZkServer:
             # the per-path pending marks below are not enough here:
             # refuse grants while *any* write is between ingress and
             # apply.
-            if table.pipeline_refs or self.zab.last_zxid > self._applied_zxid:
+            if table.pipeline_refs or self.broadcast.last_zxid > self._applied_zxid:
                 return None
         auth_stat = self.tree.exists(path)
         if auth_stat is None:
@@ -570,7 +591,7 @@ class ZkServer:
         return table.grant(path, session_id, client_node, self.env.now)
 
     def _on_lease_request(self, src: str, msg: LeaseRequest) -> None:
-        if self._lease_table is None or not self.zab.is_leader:
+        if self._lease_table is None or not self.broadcast.is_leader:
             self.net.send(self.node_id, src, LeaseDeny(msg.grant_key))
             return
         auth_stat = self.tree.exists(msg.path)
@@ -585,7 +606,7 @@ class ZkServer:
             return
         self.net.send(self.node_id, src, LeaseGrant(
             msg.grant_key, lease.lease_id, lease.expires_at,
-            self.zab.epoch, auth_stat.mzxid))
+            self.broadcast.leadership_epoch, auth_stat.mzxid))
 
     def _on_lease_grant(self, msg: LeaseGrant) -> None:
         entry = self._lease_waits.pop(msg.grant_key, None)
@@ -681,9 +702,9 @@ class ZkServer:
         """Voluntary early release (client sync barrier)."""
         if self._lease_table is None:
             return
-        if not self.zab.is_leader:
-            if self.zab.leader_id is not None:
-                self.net.send(self.node_id, self.zab.leader_id, msg)
+        if not self.broadcast.is_leader:
+            if self.broadcast.leader_id is not None:
+                self.net.send(self.node_id, self.broadcast.leader_id, msg)
             return
         ready: List[WriteGate] = []
         for lease_id in msg.lease_ids:
@@ -715,12 +736,12 @@ class ZkServer:
         if gate.kind == "close":
             table.release_pending(gate.paths)
             session_id = gate.session_id
-            if (self.zab.is_leader and session_id in self.sessions
+            if (self.broadcast.is_leader and session_id in self.sessions
                     and session_id in self._closing_sessions):
                 self._apply_to_spec(CloseSessionTxn(session_id))
-                self.zab.propose(CloseSessionTxn(session_id), None)
+                self.broadcast.propose(CloseSessionTxn(session_id), None)
             return
-        if not self.zab.is_leader:
+        if not self.broadcast.is_leader:
             table.release_pending(gate.paths)
             self._reply_error(gate.meta,
                               ConnectionLossError("leadership moved"))
@@ -771,7 +792,7 @@ class ZkServer:
             self._lease_table.release_pending(lease_paths)
         if not self._alive:
             return
-        if not self.zab.is_leader:
+        if not self.broadcast.is_leader:
             self._reply_error(meta, ConnectionLossError("leadership moved"))
             return
         spec = self._spec_tree
@@ -821,17 +842,17 @@ class ZkServer:
             # Faithful to ZooKeeper: rejected updates still travel the
             # ordered pipeline as error transactions.
             txn = ErrorTxn(to_code(error), str(error))
-        zxid = self.zab.propose(txn, meta)
+        zxid = self.broadcast.propose(txn, meta)
         self._proposed_xids[(meta.client_node, meta.xid)] = zxid
 
     def _propose_intercepted(self, meta: RequestMeta,
                              intercepted: InterceptResult) -> None:
-        if not self._alive or not self.zab.is_leader:
+        if not self._alive or not self.broadcast.is_leader:
             return
         self._apply_to_spec(intercepted.txn)
         if intercepted.block_path is not None:
             intercepted.txn.effects.append(("block", intercepted.block_path))
-        zxid = self.zab.propose(intercepted.txn, meta)
+        zxid = self.broadcast.propose(intercepted.txn, meta)
         self._proposed_xids[(meta.client_node, meta.xid)] = zxid
 
     def _answer_duplicate(self, meta: RequestMeta, zxid: int) -> None:
@@ -842,7 +863,7 @@ class ZkServer:
         through the replica the client is *now* connected to. If it has
         applied, the reply is re-derived from the committed txn.
         """
-        log = self.zab.log
+        log = self.broadcast.log
         idx = bisect_right(log, zxid, key=lambda r: r.zxid)
         if not idx or log[idx - 1].zxid != zxid:
             return
@@ -891,11 +912,11 @@ class ZkServer:
             # client") silently degrade to name order.
             actual = spec.create(op.path, op.data, ephemeral_owner=owner,
                                  sequential=op.sequential,
-                                 zxid=self.zab.next_zxid, now=self.env.now)
+                                 zxid=self.broadcast.next_zxid, now=self.env.now)
             return CreateTxn(actual, op.data, owner)
         if isinstance(op, SetDataOp):
             spec.set_data(op.path, op.data, op.version,
-                          zxid=self.zab.next_zxid, now=self.env.now)
+                          zxid=self.broadcast.next_zxid, now=self.env.now)
             return SetDataTxn(op.path, op.data)
         if isinstance(op, DeleteOp):
             spec.delete(op.path, op.version)
@@ -937,20 +958,20 @@ class ZkServer:
         # Callers run before propose(), so next_zxid is the zxid this
         # txn will carry — spec czxids stay identical to the committed
         # tree's (extensions sort sub-objects by them).
-        _apply_txn_to_tree(spec, txn, zxid=self.zab.next_zxid,
+        _apply_txn_to_tree(spec, txn, zxid=self.broadcast.next_zxid,
                            now=self.env.now)
 
     def _on_role_change(self) -> None:
         if self._lease_table is not None:
             self._lease_reset_for_role()
-        if self.zab.is_leader:
+        if self.broadcast.is_leader:
             self._spec_tree = _copy_tree(self.tree)
             # Carry the at-most-once guard across elections: retries of
             # updates the *previous* leader proposed arrive here with
             # the same (client, xid) and must not re-execute.
             self._proposed_xids = {
                 (record.meta.client_node, record.meta.xid): record.zxid
-                for record in self.zab.log if record.meta is not None
+                for record in self.broadcast.log if record.meta is not None
             }
             for session_id in self.sessions.ids():
                 session = self.sessions.get(session_id)
@@ -978,8 +999,13 @@ class ZkServer:
             if gate.kind == "update" and gate.meta is not None:
                 self._reply_error(gate.meta,
                                   ConnectionLossError("leadership changed"))
-        fence = self.zab.is_leader and self.zab.epoch > 1
-        table.reset_for_leadership(self.zab.epoch, self.env.now, fence)
+        # Fencing keys on the kernel-neutral leadership epoch (Zab
+        # epoch / Raft term): 1 is the bootstrap leadership, anything
+        # above means an election happened and old grants may be at
+        # large on clients of the previous leader.
+        epoch = self.broadcast.leadership_epoch
+        fence = self.broadcast.is_leader and epoch > 1
+        table.reset_for_leadership(epoch, self.env.now, fence)
 
     # -- final stage (every replica) ----------------------------------------
 
@@ -1005,7 +1031,7 @@ class ZkServer:
             if isinstance(txn, CreateSessionTxn):
                 session_id = record.zxid
                 self.sessions.create(session_id, txn.timeout_ms, txn.client_id)
-                if self.zab.is_leader:
+                if self.broadcast.is_leader:
                     self.heartbeats.track(session_id, txn.timeout_ms, now)
                 if record.meta is not None and record.meta.origin_replica == self.node_id:
                     self.local_sessions[session_id] = record.meta.client_node
@@ -1129,7 +1155,7 @@ class ZkServer:
     def _expiry_loop(self):
         while True:
             yield self.env.timeout(self.config.expiry_sweep_ms)
-            if not self._alive or not self.zab.is_leader:
+            if not self._alive or not self.broadcast.is_leader:
                 self._expiry_paused = True
                 continue
             if self._expiry_paused:
@@ -1153,7 +1179,7 @@ class ZkServer:
                     # Spec first: _apply_to_spec stamps with the zxid
                     # the propose() right after it will assign.
                     self._apply_to_spec(CloseSessionTxn(session_id))
-                    self.zab.propose(CloseSessionTxn(session_id), None)
+                    self.broadcast.propose(CloseSessionTxn(session_id), None)
 
     # -- replies -----------------------------------------------------------
 

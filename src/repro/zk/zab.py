@@ -37,29 +37,18 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 
+from ..core.broadcast import (AtomicBroadcast, NotLeaderError, make_zxid,
+                              zxid_counter, zxid_epoch)
 from ..sim import Environment
 from .txn import RequestMeta, Txn, TxnRecord
 
 #: Key for bisecting a (zxid-sorted) log by zxid.
 _record_zxid = operator.attrgetter("zxid")
 
+# Zxid helpers and NotLeaderError live in repro.core.broadcast now (the
+# kernel-neutral home); re-exported here for the historical import path.
 __all__ = ["ZabConfig", "ZabPeer", "Role", "NotLeaderError", "make_zxid",
            "zxid_epoch", "zxid_counter"]
-
-
-def make_zxid(epoch: int, counter: int) -> int:
-    return (epoch << 32) | counter
-
-
-def zxid_epoch(zxid: int) -> int:
-    return zxid >> 32
-
-def zxid_counter(zxid: int) -> int:
-    return zxid & 0xFFFFFFFF
-
-
-class NotLeaderError(Exception):
-    """propose() was called on a non-leader peer."""
 
 
 class Role(str, Enum):
@@ -162,7 +151,7 @@ class SyncRequest:
     last_zxid: int
 
 
-class ZabPeer:
+class ZabPeer(AtomicBroadcast):
     """One replica's endpoint of the broadcast protocol."""
 
     def __init__(self, env: Environment, node_id: str, peer_ids: List[str],
@@ -229,6 +218,10 @@ class ZabPeer:
     @property
     def is_leader(self) -> bool:
         return self._alive and self.role is Role.LEADER and self._established
+
+    @property
+    def leadership_epoch(self) -> int:
+        return self.epoch
 
     @property
     def _learners(self) -> List[str]:

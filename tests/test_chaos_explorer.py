@@ -39,3 +39,23 @@ def test_explore_cell_over_seeds(system, recipe):
         f"{system}/{recipe}: {len(failures)}/{len(list(SEEDS))} "
         "seeded schedules failed\n" + "\n".join(failures)
     )
+
+
+@pytest.mark.parametrize("recipe", RECIPES)
+@pytest.mark.parametrize("system", ("zk", "ds"))
+def test_explore_cell_over_seeds_raft(system, recipe):
+    """The kernel axis: the same schedules over the Raft backend.
+
+    With the default-kernel matrix above, this completes the
+    {zk, ds} × {zab, pbft, raft} kernel coverage."""
+    failures = []
+    for seed in SEEDS:
+        run = run_chaos(system, recipe, seed, kernel="raft")
+        if not run.ok:
+            failures.append(f"seed {seed}: {run.result.reason}\n"
+                            f"  replay: {run.repro}")
+    assert not failures, (
+        f"{system}/{recipe} kernel=raft: {len(failures)}/"
+        f"{len(list(SEEDS))} seeded schedules failed\n"
+        + "\n".join(failures)
+    )

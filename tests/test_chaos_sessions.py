@@ -58,6 +58,24 @@ def test_session_storm_matrix(system, scenario):
         + "\n".join(failures))
 
 
+@pytest.mark.slow
+@pytest.mark.skipif(os.environ.get("CHAOS_FULL") != "1",
+                    reason="25-seed storm matrix only in CHAOS_FULL runs")
+@pytest.mark.parametrize("scenario", SESSION_SCENARIOS)
+def test_session_storm_matrix_raft(scenario):
+    """Session storms over the Raft kernel: fencing, watches and leases
+    must hold across Raft leader changes just as across Zab's."""
+    failures = []
+    for seed in range(1, 26):
+        run = run_session_chaos("zk", scenario, seed, kernel="raft")
+        if not run.ok:
+            failures.append(f"seed {seed}: {run.result.reason} "
+                            f"[replay: {run.repro}]")
+    assert not failures, (
+        f"zk/{scenario} kernel=raft: {len(failures)}/25 seeds failed\n"
+        + "\n".join(failures))
+
+
 # ---------------------------------------------------------------------------
 # check_session_log teeth (fabricated committed logs)
 # ---------------------------------------------------------------------------

@@ -27,3 +27,16 @@ def test_chaos_smoke_cell(system, recipe):
         f"schedule:\n{run.schedule.describe()}\n"
         f"nemesis log:\n" + "\n".join(run.nemesis_log)
     )
+
+
+@pytest.mark.parametrize("system,recipe", [("zk", "counter"), ("ds", "queue")])
+def test_chaos_smoke_cell_raft(system, recipe):
+    """The kernel axis: one cell per family over the Raft backend."""
+    run = run_chaos(system, recipe, SMOKE_SEED, kernel="raft")
+    assert run.ok, (
+        f"{system}/{recipe} seed {SMOKE_SEED} kernel=raft: "
+        f"{run.result.reason}\n"
+        f"replay: {run.repro}\n"
+        f"schedule:\n{run.schedule.describe()}\n"
+        f"nemesis log:\n" + "\n".join(run.nemesis_log)
+    )
