@@ -43,7 +43,7 @@ def make_ensemble(kind: str, seed: int = 11, **kwargs):
 
 
 def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3,
-                        kernel: Optional[str] = None):
+                        kernel: Optional[str] = None, obs=None):
     """Ensemble + connected raw clients tuned for the chaos harness.
 
     ZK-family ensembles run with ``local_reads`` and one observer so
@@ -59,10 +59,15 @@ def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3,
     default: Zab for ZK, PBFT for DS). ``"raft"`` runs the same
     ensembles over :mod:`repro.raft`, seeding the election-timeout RNG
     from the schedule seed so replays stay byte-identical.
+
+    ``obs`` attaches an :class:`~repro.obs.ObsConfig` so chaos replays
+    can dump a causal trace of the exact faulted run (``--trace`` on
+    the replay CLI); ``None`` keeps the plane uninstalled and replays
+    byte-identical to historical cells.
     """
     if kind in ("zk", "ezk"):
         cls = ZkEnsemble if kind == "zk" else EzkEnsemble
-        config = ZkConfig(local_reads=True)
+        config = ZkConfig(local_reads=True, obs=obs)
         if kernel is not None and kernel != "zab":
             config.kernel = kernel
             config.raft = RaftConfig(seed=seed)
@@ -83,7 +88,8 @@ def make_chaos_ensemble(kind: str, seed: int = 11, n_clients: int = 3,
         # healed from a partition after the last client request never
         # learns it missed a view (liveness, not figure-relevant).
         config = DsConfig(lease_ms=8000.0,
-                          bft=BftConfig(status_interval_ms=500.0))
+                          bft=BftConfig(status_interval_ms=500.0),
+                          obs=obs)
         if kernel is not None and kernel != "pbft":
             config.kernel = kernel
             config.raft = RaftConfig(seed=seed)

@@ -46,7 +46,8 @@ from .workload import run_queue_workload, run_read_heavy_workload
 __all__ = ["measure_queue", "measure_read_heavy", "measure_kernel",
            "measure_openloop", "measure_zipf_hot", "run_bench",
            "run_read_bench", "run_kernel_bench", "run_openloop_bench",
-           "run_zipf_hot_bench", "run_guard", "main"]
+           "run_zipf_hot_bench", "run_phase_breakdown", "write_phase_table",
+           "run_guard", "main"]
 
 DEFAULT_OUTPUT = Path("BENCH_core.json")
 CLIENTS = 32
@@ -358,6 +359,86 @@ def run_zipf_hot_bench(skews=(0.6, 0.9, 1.2), repeat: int = 1
     }
 
 
+PHASES_BEGIN = "<!-- obs-phases:begin -->"
+PHASES_END = "<!-- obs-phases:end -->"
+PHASES_DOC = Path("EXPERIMENTS.md")
+
+
+def run_phase_breakdown(measure_ms: float = MEASURE_MS,
+                        clients: int = CLIENTS) -> Dict[str, dict]:
+    """Traced fig8 cells over Zab and Raft: per-phase latency breakdown.
+
+    Runs the Figure-8 queue driver once per consensus kernel with the
+    observability plane attached and telescopes every finished write
+    trace into its ingress/broadcast/quorum/apply/reply phases. One
+    traced repeat per kernel — the sim metrics are deterministic, and
+    wall-clock speed is not what this mode measures.
+    """
+    from ..obs import ObsConfig, breakdown
+    from ..zk.server import ZkConfig
+    rows: Dict[str, dict] = {}
+    for kernel in ("zab", "raft"):
+        obs_cfg = ObsConfig()
+        config = (ZkConfig(obs=obs_cfg) if kernel == "zab"
+                  else ZkConfig(kernel="raft", obs=obs_cfg))
+        run_queue_workload("zk", clients, measure_ms=measure_ms,
+                           config=config)
+        traces = [t.to_dict() for t in obs_cfg.runtime.tracer.traces()]
+        rows[kernel] = breakdown(traces)
+    return rows
+
+
+def write_phase_table(rows: Dict[str, dict],
+                      path: Path = PHASES_DOC) -> None:
+    """Record the per-phase table into EXPERIMENTS.md (idempotent).
+
+    The table lives between sentinel comments so re-runs replace it in
+    place; a document without the sentinels gets the section appended.
+    """
+    from ..obs import READ_PHASES, WRITE_PHASES
+    lines = [PHASES_BEGIN,
+             "### Per-phase request latency (traced fig8 cell)",
+             "",
+             f"Figure-8 queue driver, {CLIENTS} closed-loop clients, "
+             f"{MEASURE_MS:g} ms measured window, tracing on "
+             "(`ZkConfig(obs=ObsConfig())`). Phases telescope between "
+             "consecutive trace milestones, so per-pipeline phase sums "
+             "equal end-to-end latency exactly.",
+             "",
+             "| kernel | pipeline | phase | n | mean (ms) | p99 (ms) |",
+             "|---|---|---|---:|---:|---:|"]
+    for kernel, bd in rows.items():
+        for pipeline, phases in (("write", WRITE_PHASES),
+                                 ("read", READ_PHASES)):
+            for phase in phases:
+                row = bd[pipeline].get(phase)
+                if row is None:
+                    continue
+                lines.append(
+                    f"| {kernel} | {pipeline} | {phase} | {row['count']} "
+                    f"| {row['mean_ms']:.4f} | {row['p99_ms']:.4f} |")
+    for kernel, bd in rows.items():
+        recon = bd["write"]["_recon"]
+        lines.append("")
+        lines.append(
+            f"Reconciliation ({kernel}, write): phase sum "
+            f"{recon['phase_sum_ms']:.4f} ms vs end-to-end "
+            f"{recon['end_to_end_ms']:.4f} ms over {recon['traces']} "
+            f"traces.")
+    lines.append(PHASES_END)
+    block = "\n".join(lines)
+    text = path.read_text() if path.exists() else ""
+    if PHASES_BEGIN in text and PHASES_END in text:
+        head, rest = text.split(PHASES_BEGIN, 1)
+        _, tail = rest.split(PHASES_END, 1)
+        text = head + block + tail
+    else:
+        if text and not text.endswith("\n"):
+            text += "\n"
+        text += "\n" + block + "\n"
+    path.write_text(text)
+
+
 def run_guard(payload: dict, threshold: float = GUARD_THRESHOLD) -> int:
     """Re-measure quickly; fail if any row regressed more than ``threshold``.
 
@@ -431,6 +512,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--guard", action="store_true",
                         help="re-measure and fail if events/wall-s dropped "
                              f">{GUARD_THRESHOLD:.0%} below recorded rows")
+    parser.add_argument("--phases", action="store_true",
+                        help="run traced fig8 cells (zab + raft) and record "
+                             "the per-phase latency table into "
+                             f"{PHASES_DOC}")
     parser.add_argument("--skew", default="0.6,0.9,1.2",
                         help="comma-separated Zipf exponents for the "
                              "zipf-hot skew sweep (default: 0.6,0.9,1.2)")
@@ -438,6 +523,17 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.guard:
         return run_guard(_load(args.output))
+
+    if args.phases:
+        rows = run_phase_breakdown()
+        write_phase_table(rows)
+        for kernel, bd in rows.items():
+            recon = bd["write"]["_recon"]
+            print(f"  {kernel:<5} write traces={recon['traces']:>4}  "
+                  f"phase sum={recon['phase_sum_ms']:.4f} ms  "
+                  f"end-to-end={recon['end_to_end_ms']:.4f} ms")
+        print(f"phase table recorded -> {PHASES_DOC}")
+        return 0
 
     if args.workload == "kernel":
         rows = run_kernel_bench(repeat=args.repeat)

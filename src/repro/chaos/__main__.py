@@ -13,6 +13,7 @@ import argparse
 import sys
 
 from ..bench.systems import SYSTEMS
+from ..obs import ObsConfig
 from .explorer import RECIPES, run_chaos
 from .storms import SESSION_SCENARIOS, run_session_chaos
 
@@ -33,15 +34,23 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--history", action="store_true",
                         help="dump the full canonical history")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a causal trace of the replay as JSONL "
+                             "(render with: python -m repro.obs PATH)")
     args = parser.parse_args(argv)
 
+    obs_cfg = ObsConfig() if args.trace else None
     if args.recipe in SESSION_SCENARIOS:
         run = run_session_chaos(args.system, args.recipe, args.seed,
-                                kernel=args.kernel)
+                                kernel=args.kernel, obs=obs_cfg)
     else:
         run = run_chaos(args.system, args.recipe, args.seed,
                         n_clients=args.clients, ops_per_client=args.ops,
-                        rounds=args.rounds, kernel=args.kernel)
+                        rounds=args.rounds, kernel=args.kernel, obs=obs_cfg)
+    if obs_cfg is not None and obs_cfg.runtime is not None:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            fh.write(obs_cfg.runtime.tracer.dump_jsonl())
+        print(f"# trace written to {args.trace}")
     print(f"# {run.repro}")
     print("-- schedule --")
     print(run.schedule.describe())

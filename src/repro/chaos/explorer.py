@@ -316,11 +316,14 @@ class _Workload:
 def run_chaos(system: str, recipe: str, seed: int, n_clients: int = 3,
               ops_per_client: int = 4, rounds: int = 3,
               schedule: Optional[Schedule] = None,
-              nemesis_cls=Nemesis, kernel: Optional[str] = None) -> ChaosRun:
+              nemesis_cls=Nemesis, kernel: Optional[str] = None,
+              obs=None) -> ChaosRun:
     """One cell of the chaos matrix; returns history + checker verdict.
 
     ``kernel`` adds the consensus-kernel axis: ``"raft"`` runs the same
     cell over the Raft backend (``None`` keeps the family default).
+    ``obs`` (an :class:`~repro.obs.ObsConfig`) traces the replay; the
+    fault schedule and history are unchanged either way.
     """
     if recipe not in RECIPES:
         raise ValueError(f"unknown recipe {recipe!r}")
@@ -328,7 +331,8 @@ def run_chaos(system: str, recipe: str, seed: int, n_clients: int = 3,
     repro = repro_line(system, recipe, seed, kernel=kernel)
 
     ensemble, raw = make_chaos_ensemble(system, seed=seed,
-                                        n_clients=n_clients, kernel=kernel)
+                                        n_clients=n_clients, kernel=kernel,
+                                        obs=obs)
     env = ensemble.env
     history = History()
     coords = [RecordingCoord(c, history, f"c{i}", env)

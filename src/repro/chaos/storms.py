@@ -302,11 +302,13 @@ def _lease_reader(nemesis: Nemesis, action, storm_id: int, i: int):
 
 
 def run_session_chaos(system: str, scenario: str, seed: int,
-                      schedule: Schedule = None, kernel: str = None):
+                      schedule: Schedule = None, kernel: str = None,
+                      obs=None):
     """One storm cell: scenario × system × seeded storm schedule.
 
     ``kernel`` adds the consensus-kernel axis (``"raft"`` runs the same
-    storm over the Raft backend; ``None`` keeps Zab).
+    storm over the Raft backend; ``None`` keeps Zab). ``obs`` traces
+    the replay (see :func:`repro.chaos.explorer.run_chaos`).
     """
     if scenario not in SESSION_SCENARIOS:
         raise ValueError(f"unknown storm scenario {scenario!r}")
@@ -324,7 +326,7 @@ def run_session_chaos(system: str, scenario: str, seed: int,
     # Leases only in the lease scenario: churn/watch runs must replay
     # byte-identically against their historical (system, seed) cells.
     leases = _STORM_LEASES if scenario == "lease_storm" else None
-    config = ZkConfig(local_reads=True, leases=leases)
+    config = ZkConfig(local_reads=True, leases=leases, obs=obs)
     if kernel is not None and kernel != "zab":
         config.kernel = kernel
         config.raft = RaftConfig(seed=seed)

@@ -107,6 +107,11 @@ class DsClient:
         self._inflight[seq] = (future, {}, required)
         blocking = is_blocking(op)
         retransmits = 0
+        obs = self.env.obs
+        tracer = obs.tracer if obs is not None else None
+        sent_at = self.env.now
+        if tracer is not None:
+            tracer.begin(self.node_id, seq, type(op).__name__, sent_at)
         self.net.broadcast(self.node_id, self.replica_ids, request)
         while True:
             timer = self.env.timeout(self._backoff.delay(retransmits))
@@ -116,13 +121,26 @@ class DsClient:
             retransmits += 1
             if not blocking and retransmits > _MAX_RETRANSMITS:
                 self._inflight.pop(seq, None)
+                if tracer is not None:
+                    tracer.finish(self.node_id, seq, self.env.now, False)
                 raise DsClientError(
                     f"no f+1 matching replies after {retransmits} tries")
+            if tracer is not None:
+                tracer.retry(self.node_id, seq, self.env.now)
+            if obs is not None:
+                obs.metrics.inc("client.retries")
             self.net.broadcast(self.node_id, self.replica_ids, request)
         self._inflight.pop(seq, None)
         reply = future.value
         if not reply.ok:
+            if tracer is not None:
+                tracer.finish(self.node_id, seq, self.env.now, False)
             raise self._reconstruct_error(reply)
+        if obs is not None:
+            if tracer is not None:
+                tracer.finish(self.node_id, seq, self.env.now, True)
+            obs.metrics.observe("client.latency_ms", "",
+                                self.env.now - sent_at)
         return reply.value
 
     @staticmethod

@@ -24,6 +24,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.broadcast import DS_KERNELS
 from ..core.errors import ExtensionError
+from ..obs import (M_INGRESS, M_REPLY, FourLetterReply, FourLetterRequest,
+                   Observability, ObsConfig)
 from ..raft import RaftConfig
 from ..sim import Environment, FifoResource, Network
 from .access import AccessControl, AccessDeniedError
@@ -70,6 +72,10 @@ class DsConfig:
     kernel: str = "pbft"
     #: Raft kernel tuning when ``kernel="raft"`` (None = defaults).
     raft: Optional[RaftConfig] = None
+    #: observability plane (tracing + metrics + four-letter words).
+    #: None (the default) leaves ``env.obs`` unset: no hook fires and
+    #: simulated behaviour is byte-identical to pre-obs builds.
+    obs: Optional[ObsConfig] = None
 
 
 @dataclass
@@ -149,6 +155,9 @@ class DsReplica:
         #: (client_id, op) -> True when a read must be ordered anyway
         #: (EDS: an operation extension would consume it).
         self.read_router: Optional[Callable[[str, DsOp], bool]] = None
+
+        if self.config.obs is not None:
+            Observability.install(env, self.config.obs)
 
         #: fault-injection: corrupt every reply (Byzantine behaviour).
         self.byzantine = False
@@ -240,11 +249,23 @@ class DsReplica:
         if isinstance(msg, StateResponse):
             self._on_state_response(src, msg)
             return
+        if isinstance(msg, FourLetterRequest):
+            self.net.send(self.node_id, src,
+                          FourLetterReply(msg.xid, msg.command,
+                                          self._four_letter(msg.command)))
+            return
         self.ordering.handle(src, msg)
 
     # -- request intake ----------------------------------------------------
 
     def _on_client_request(self, src: str, request: BftRequest) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("ds.requests", self.node_id)
+            if obs.tracer is not None:
+                obs.tracer.mark(request.request_id.client_id,
+                                request.request_id.seq, M_INGRESS,
+                                self.env.now, self.node_id)
         if self._is_fast_read(request):
             work = self.cpu.submit(self.timings.verify_ms
                                    + self.timings.fast_read_ms)
@@ -279,6 +300,9 @@ class DsReplica:
         """
         if not self._alive:
             return
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("ds.fast_reads", self.node_id)
         client_id = request.request_id.client_id
         op = request.op
         try:
@@ -304,6 +328,9 @@ class DsReplica:
     def _execute_now(self, request: BftRequest, ts: float) -> None:
         if not self._alive:
             return
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("ds.ordered", self.node_id)
         client_id = request.request_id.client_id
         op = request.op
         events: List[DsEvent] = []
@@ -474,6 +501,7 @@ class DsReplica:
                         self.node_id, True, value)
         if cache:
             self._reply_cache[request_id.client_id] = reply
+        self._mark_reply(request_id)
         self.net.send(self.node_id, request_id.client_id, reply)
 
     def _reply_error(self, request_id: RequestId, error: Exception,
@@ -483,7 +511,44 @@ class DsReplica:
                         self.node_id, False, None, code, str(error))
         if cache:
             self._reply_cache[request_id.client_id] = reply
+        self._mark_reply(request_id)
         self.net.send(self.node_id, request_id.client_id, reply)
+
+    def _mark_reply(self, request_id: RequestId) -> None:
+        obs = self.env.obs
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.mark(request_id.client_id, request_id.seq,
+                            M_REPLY, self.env.now, self.node_id)
+
+    # -- introspection ------------------------------------------------------------
+
+    def _four_letter(self, command: str) -> str:
+        """Answer a four-letter admin word from local state only."""
+        if command == "ruok":
+            return "imok"
+        if command == "stat":
+            waiting = sum(len(ws) for ws in self._waiters.values())
+            return (f"node: {self.node_id}\n"
+                    f"kernel: {self.config.kernel}\n"
+                    f"view: {getattr(self.ordering, 'view', 0)}\n"
+                    f"exec_seq: {self.ordering._exec_seq}\n"
+                    f"spaces: {len(self.spaces)}\n"
+                    f"blocked_waiters: {waiting}")
+        if command == "mntr":
+            lines = [f"ds_kernel\t{self.config.kernel}",
+                     f"ds_exec_seq\t{self.ordering._exec_seq}",
+                     f"ds_spaces\t{len(self.spaces)}"]
+            obs = self.env.obs
+            if obs is not None:
+                lines.extend(obs.metrics.mntr_lines(self.node_id))
+            return "\n".join(lines)
+        if command == "wchs":
+            # DepSpace has no watches; report blocked waiters instead
+            # (the closest notion of "who is parked on state changes").
+            spaces = sum(1 for ws in self._waiters.values() if ws)
+            total = sum(len(ws) for ws in self._waiters.values())
+            return f"{spaces} spaces with waiters\nTotal waiters: {total}"
+        return f"unknown command: {command!r}"
 
     # -- state transfer -----------------------------------------------------------
 

@@ -298,6 +298,9 @@ class RaftPeer(AtomicBroadcast):
     def propose(self, txn, meta=None) -> int:
         if not self.is_leader:
             raise NotLeaderError(self.node_id)
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("raft.proposals", self.node_id)
         index = self._append_local(txn, meta)
         zxid = self._entries[index - 1].record.zxid
         self._replicate_new(index)
@@ -396,6 +399,9 @@ class RaftPeer(AtomicBroadcast):
             self._send(peer, poll)
 
     def _start_candidacy(self, term: int) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("raft.elections", self.node_id)
         self.current_term = term
         self.voted_for = self.node_id
         self.role = RaftRole.CANDIDATE
@@ -607,6 +613,9 @@ class RaftPeer(AtomicBroadcast):
         self._set_commit(candidate)
         if not self._established and self.commit_index >= self._noop_index:
             self._established = True
+            obs = self.env.obs
+            if obs is not None:
+                obs.metrics.inc("raft.leaderships", self.node_id)
             if self.on_role_change:
                 self.on_role_change()
         self._maybe_compact()
@@ -616,11 +625,18 @@ class RaftPeer(AtomicBroadcast):
             return
         self.commit_index = index
         self.committed_zxid = self._entries[index - 1].record.zxid
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("raft.commits", self.node_id)
+        delivered = 0
         while (self._delivered_upto < self.commit_index
                and self._delivered_upto < len(self._entries)):
             record = self._entries[self._delivered_upto].record
             self._delivered_upto += 1
+            delivered += 1
             self._deliver(record)
+        if delivered and obs is not None:
+            obs.metrics.inc("raft.deliveries", self.node_id, delivered)
 
     def _maybe_compact(self) -> None:
         threshold = self.config.snapshot_threshold
@@ -648,6 +664,9 @@ class RaftPeer(AtomicBroadcast):
             # reproduces verbatim, so it carries over untouched.
             self._entries = list(msg.entries)
             self.snapshots_installed += 1
+            obs = self.env.obs
+            if obs is not None:
+                obs.metrics.inc("raft.snapshots_installed", self.node_id)
         self._set_commit(min(msg.leader_commit, msg.last_index))
         self._send(src, SnapshotReply(self.current_term, self.node_id,
                                       msg.last_index))

@@ -69,6 +69,11 @@ class Environment:
         #: microbenchmark divides this by elapsed real time to get the
         #: kernel's events/s figure (BENCH_core.json).
         self.events_processed = 0
+        #: the run's observability plane (:class:`repro.obs.Observability`),
+        #: installed by the first server whose config carries an
+        #: ``ObsConfig``; None keeps every instrumentation point to a
+        #: single attribute-read-plus-comparison.
+        self.obs = None
         if kernel is None:
             kernel = default_kernel()
         elif kernel not in KERNELS:

@@ -241,6 +241,9 @@ class _Delivery:
         if self.dst in net._crashed:
             return
         net.bytes_received[self.dst] += self.size
+        obs = net.env.obs
+        if obs is not None:
+            obs.metrics.inc("net.bytes_received", self.dst, self.size)
         self.handler(self.src, self.msg)
 
 
@@ -391,10 +394,18 @@ class Network:
     def _send_sized(self, src: str, dst: str, msg: Any, size: int) -> int:
         self.bytes_sent[src] += size
         self.msgs_sent[src] += 1
+        # Metric increments are dict writes only — no RNG draw, no
+        # scheduling — so instrumented runs keep the exact event stream.
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("net.msgs_sent", src)
+            obs.metrics.inc("net.bytes_sent", src, size)
         # Fast path: no faults injected, nothing can block the message.
         faults = (self._crashed or self._partitions or self._oneway
                   or self.drop_probability or self._rules)
         if faults and self._blocked(src, dst, msg):
+            if obs is not None:
+                obs.metrics.inc("net.dropped", src)
             return size
         handler = self._handlers.get(dst)
         if handler is None:

@@ -39,10 +39,20 @@ class LatencyRecorder:
         return sum(self.samples) / len(self.samples)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        The edges are pinned explicitly: ``p <= 0`` is the minimum
+        sample and ``p >= 100`` the maximum, rather than leaning on the
+        ``max(1, ceil(0))`` clamp to land there by accident. Interior
+        values keep the exact nearest-rank behaviour.
+        """
         if not self.samples:
             return float("nan")
         ordered = sorted(self.samples)
+        if p <= 0.0:
+            return ordered[0]
+        if p >= 100.0:
+            return ordered[-1]
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]
 

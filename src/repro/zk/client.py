@@ -211,8 +211,18 @@ class ZkClient:
         session = self.session_id or 0
         attempts = 0
         loss_retries = 0
+        obs = self.env.obs
+        tracer = obs.tracer if obs is not None else None
+        sent_at = self.env.now
+        if tracer is not None:
+            tracer.begin(self.node_id, xid, type(op).__name__, sent_at)
         while True:
             attempts += 1
+            if attempts > 1:
+                if tracer is not None:
+                    tracer.retry(self.node_id, xid, self.env.now)
+                if obs is not None:
+                    obs.metrics.inc("client.retries")
             future = self.env.event()
             self._pending[xid] = future
             if (self._cache is not None
@@ -239,6 +249,8 @@ class ZkClient:
             if reply is _TIMED_OUT:
                 # Timed out: assume the replica is gone and fail over.
                 if attempts >= 2 * len(self.replicas) + 1:
+                    if tracer is not None:
+                        tracer.finish(self.node_id, xid, self.env.now, False)
                     raise ConnectionLossError(
                         f"no replica answered after {attempts} attempts")
                 self._failover()
@@ -264,10 +276,15 @@ class ZkClient:
                     loss_retries += 1
                     yield self.env.timeout(delay)
                     if attempts >= 2 * len(self.replicas) + 1:
+                        if tracer is not None:
+                            tracer.finish(self.node_id, xid, self.env.now,
+                                          False)
                         raise from_code(reply.error_code, reply.error_message)
                     continue
                 if reply.error_code == SessionExpiredError.code:
                     self._set_state(SessionState.EXPIRED)
+                if tracer is not None:
+                    tracer.finish(self.node_id, xid, self.env.now, False)
                 raise from_code(reply.error_code, reply.error_message)
             if self.resilient:
                 if self.state is SessionState.SUSPENDED:
@@ -275,6 +292,11 @@ class ZkClient:
                 self._note_watch(op, reply.value)
             if self._cache is not None:
                 self._cache_note(op, reply)
+            if obs is not None:
+                if tracer is not None:
+                    tracer.finish(self.node_id, xid, self.env.now, True)
+                obs.metrics.observe("client.latency_ms", "",
+                                    self.env.now - sent_at)
             return reply.value
 
     def _cache_note(self, op: Op, reply: ClientReply) -> None:
@@ -638,6 +660,9 @@ class ZkClient:
         if self._cache is not None and not watch:
             hit = self._cache.data(path, self.env.now)
             if hit is not CACHE_MISS:
+                obs = self.env.obs
+                if obs is not None:
+                    obs.metrics.inc("client.cache_hits")
                 # 0 RTT: a sliver of local CPU, no network.
                 yield self.env.timeout(self._cache.hit_cost_ms)
                 return hit
@@ -654,6 +679,9 @@ class ZkClient:
         if self._cache is not None and not watch:
             hit = self._cache.stat(path, self.env.now)
             if hit is not CACHE_MISS:
+                obs = self.env.obs
+                if obs is not None:
+                    obs.metrics.inc("client.cache_hits")
                 yield self.env.timeout(self._cache.hit_cost_ms)
                 return hit
         value = yield from self._call(ExistsOp(path, watch))

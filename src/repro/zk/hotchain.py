@@ -284,10 +284,15 @@ class ChainNode:
         self.keys = new_keys
 
     def _on_write(self, msg: ChainWrite) -> None:
+        obs = self.env.obs
         if not self.is_head or msg.key not in self.keys:
+            if obs is not None:
+                obs.metrics.inc("hotchain.nacks", self.node_id)
             self.net.send(self.node_id, msg.origin,
                           ChainNack(msg.xid, msg.key, "not head"))
             return
+        if obs is not None:
+            obs.metrics.inc("hotchain.writes", self.node_id)
         version = self.store.get(msg.key, (b"", 0))[1] + 1
         self.store[msg.key] = (msg.value, version)
         self._propagate(msg.xid, msg.key, msg.value, version, msg.origin)
@@ -315,10 +320,15 @@ class ChainNode:
                                    origin))
 
     def _on_read(self, msg: ChainRead) -> None:
+        obs = self.env.obs
         if not self.is_tail or msg.key not in self.keys:
+            if obs is not None:
+                obs.metrics.inc("hotchain.nacks", self.node_id)
             self.net.send(self.node_id, msg.origin,
                           ChainNack(msg.xid, msg.key, "not tail"))
             return
+        if obs is not None:
+            obs.metrics.inc("hotchain.reads", self.node_id)
         value, version = self.store.get(msg.key, (b"", 0))
         self.net.send(self.node_id, msg.origin,
                       ChainReadReply(msg.xid, msg.key, value, version))

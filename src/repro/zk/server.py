@@ -60,6 +60,9 @@ from .txn import (ClientReply, ClientRequest, CloseSessionOp, CloseSessionTxn,
                   WatchNotification, ZxidReply, ZxidWatchNotification,
                   is_update)
 from ..core.broadcast import make_zk_kernel
+from ..obs import (M_DELIVER, M_INGRESS, M_PROPOSE, M_REPLY,
+                   FourLetterReply, FourLetterRequest, Observability,
+                   ObsConfig)
 from ..raft import RaftConfig
 from .watches import EventType, WatchEvent, WatchManager
 from .zab import ZabConfig
@@ -112,6 +115,11 @@ class ZkConfig:
     #: set to a :class:`LeaseConfig` to let ``cached_reads`` clients
     #: serve hot-key reads from local memory at 0 RTT.
     leases: Optional[LeaseConfig] = None
+    #: deterministic tracing + metrics (see ``repro.obs``). ``None``
+    #: (the default) leaves ``env.obs`` unset, so every instrumentation
+    #: point costs one attribute read and the run is byte-identical to
+    #: an unobserved one.
+    obs: Optional[ObsConfig] = None
 
 
 @dataclass
@@ -250,6 +258,17 @@ class ZkServer:
         #: extension registry from the /em index, §3.8).
         self.on_recover: Optional[Callable[["ZkServer"], None]] = None
 
+        # Observability plane: the first obs-configured server installs
+        # it on the env; the tables above get their metric hooks here
+        # (they are pure bookkeeping with no env access of their own).
+        if self.config.obs is not None:
+            obs = Observability.install(env, self.config.obs)
+            self.sessions.metrics = obs.metrics
+            self.sessions.metrics_node = node_id
+            if self._lease_table is not None:
+                self._lease_table.metrics = obs.metrics
+                self._lease_table.metrics_node = node_id
+
         self._alive = True
         net.register(node_id, self.handle_message)
         env.process(self._expiry_loop())
@@ -318,6 +337,12 @@ class ZkServer:
             self._on_lease_revoked(msg.lease_id)
         elif isinstance(msg, LeaseRelease):
             self._on_lease_release(msg)
+        elif isinstance(msg, FourLetterRequest):
+            # Introspection probes sit at the end of the ladder: real
+            # traffic never pays for the isinstance check chain above,
+            # and no probe exists unless a test or driver sends one.
+            self.net.send(self.node_id, src, FourLetterReply(
+                msg.xid, msg.command, self._four_letter(msg.command)))
 
     # -- client requests ---------------------------------------------------
 
@@ -340,6 +365,11 @@ class ZkServer:
 
     def _on_client_request(self, src: str, req: ClientRequest) -> None:
         op = req.op
+        obs = self.env.obs
+        if obs is not None and obs.tracer is not None \
+                and not isinstance(op, PingOp):
+            obs.tracer.mark(src, req.xid, M_INGRESS, self.env.now,
+                            self.node_id)
         if self._fence_expired(req.session_id, op):
             self._reply(src, ClientReply(
                 req.xid, False, None, SessionExpiredError.code,
@@ -374,12 +404,17 @@ class ZkServer:
 
     def _route_update(self, meta: RequestMeta, req: ClientRequest) -> None:
         self.local_sessions[req.session_id] = meta.client_node
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("zk.writes", self.node_id)
         if self.broadcast.is_leader:
             if self._lease_table is not None:
                 self._gate_or_prep(meta, req.op)
             else:
                 self._enter_prep(meta, req.op)
         elif self.broadcast.leader_id is not None:
+            if obs is not None:
+                obs.metrics.inc("zk.forwards", self.node_id)
             self.net.send(self.node_id, self.broadcast.leader_id,
                           Forward(req, self.node_id, meta.client_node))
         else:
@@ -444,6 +479,9 @@ class ZkServer:
     def _handle_read(self, meta: RequestMeta, op: Op,
                      last_zxid: int = 0, wants_lease: bool = False) -> None:
         self.local_sessions[meta.session_id] = meta.client_node
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("zk.reads", self.node_id)
         if self.config.local_reads:
             # Session consistency: never serve a state older than what
             # this session has already seen (request stamp) or what this
@@ -686,6 +724,11 @@ class ZkServer:
                          + [b.expires_at + grace for b in blockers])
         gate = WriteGate("update", paths, {b.lease_id for b in blockers},
                          not_before, meta=meta, op=op)
+        obs = self.env.obs
+        if obs is not None and obs.tracer is not None:
+            # Ad-hoc stamp (WriteGate is a plain dataclass): the gate
+            # wait surfaces as an aux span when the write finally fires.
+            gate.obs_gated_at = now
         table.open_gate(gate)
         for blocker in blockers:
             self.net.send(self.node_id, blocker.client_node,
@@ -746,6 +789,12 @@ class ZkServer:
             self._reply_error(gate.meta,
                               ConnectionLossError("leadership moved"))
             return
+        obs = self.env.obs
+        gated_at = getattr(gate, "obs_gated_at", None)
+        if obs is not None and obs.tracer is not None and gated_at is not None:
+            obs.tracer.aux(gate.meta.client_node, gate.meta.xid,
+                           "lease_gate", gated_at, self.env.now,
+                           self.node_id, detail=f"paths={len(gate.paths)}")
         self._enter_prep(gate.meta, gate.op, lease_paths=gate.paths)
 
     def _gate_session_close(self, session_id: int) -> bool:
@@ -844,6 +893,7 @@ class ZkServer:
             txn = ErrorTxn(to_code(error), str(error))
         zxid = self.broadcast.propose(txn, meta)
         self._proposed_xids[(meta.client_node, meta.xid)] = zxid
+        self._mark_propose(meta, zxid)
 
     def _propose_intercepted(self, meta: RequestMeta,
                              intercepted: InterceptResult) -> None:
@@ -854,6 +904,15 @@ class ZkServer:
             intercepted.txn.effects.append(("block", intercepted.block_path))
         zxid = self.broadcast.propose(intercepted.txn, meta)
         self._proposed_xids[(meta.client_node, meta.xid)] = zxid
+        self._mark_propose(meta, zxid)
+
+    def _mark_propose(self, meta: RequestMeta, zxid: int) -> None:
+        obs = self.env.obs
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.mark(meta.client_node, meta.xid, M_PROPOSE,
+                            self.env.now, self.node_id,
+                            epoch=self.broadcast.leadership_epoch,
+                            zxid=zxid)
 
     def _answer_duplicate(self, meta: RequestMeta, zxid: int) -> None:
         """Answer a retried update from its already-proposed txn record.
@@ -1010,6 +1069,14 @@ class ZkServer:
     # -- final stage (every replica) ----------------------------------------
 
     def _on_deliver(self, record: TxnRecord) -> None:
+        obs = self.env.obs
+        if (obs is not None and obs.tracer is not None
+                and record.meta is not None
+                and record.meta.origin_replica == self.node_id):
+            obs.tracer.mark(record.meta.client_node, record.meta.xid,
+                            M_DELIVER, self.env.now, self.node_id,
+                            epoch=self.broadcast.leadership_epoch,
+                            zxid=record.zxid)
         result, error, events = self._apply(record)
         if record.zxid > self._applied_zxid:
             self._applied_zxid = record.zxid
@@ -1131,6 +1198,7 @@ class ZkServer:
                         event.path, ()):
                     self._reply(client, ClientReply(
                         xid, True, ("unblocked", event.path)))
+        obs = self.env.obs
         for session_id, watch_event in notifications:
             if (self.notification_filter is not None
                     and self.notification_filter(session_id, watch_event)):
@@ -1138,6 +1206,8 @@ class ZkServer:
             client = self.local_sessions.get(session_id)
             if client is None:
                 continue
+            if obs is not None:
+                obs.metrics.inc("zk.watch_deliveries", self.node_id)
             if self.config.local_reads:
                 # Stamp the triggering txn's zxid so a read issued after
                 # the notification (even at another replica) observes the
@@ -1171,6 +1241,9 @@ class ZkServer:
                 if (session_id in self.sessions
                         and session_id not in self._closing_sessions):
                     self._closing_sessions.add(session_id)
+                    obs = self.env.obs
+                    if obs is not None:
+                        obs.metrics.inc("sessions.expired", self.node_id)
                     if (self._lease_table is not None
                             and self._gate_session_close(session_id)):
                         # The close deletes leased ephemerals: it parks
@@ -1181,9 +1254,55 @@ class ZkServer:
                     self._apply_to_spec(CloseSessionTxn(session_id))
                     self.broadcast.propose(CloseSessionTxn(session_id), None)
 
+    # -- introspection (four-letter words) -----------------------------------
+
+    def _four_letter(self, command: str) -> str:
+        """Answer one diagnostic command (``ruok``/``stat``/``mntr``/``wchs``).
+
+        Mirrors ZooKeeper's four-letter words: plain text, answerable by
+        any live replica, describing only *this* replica's view.
+        """
+        if command == "ruok":
+            return "imok"
+        role = ("observer" if self.is_observer
+                else "leader" if self.broadcast.is_leader else "follower")
+        if command == "stat":
+            lines = [
+                f"node: {self.node_id}",
+                f"mode: {role}",
+                f"kernel: {self.config.kernel}",
+                f"epoch: {self.broadcast.leadership_epoch}",
+                f"zxid: {self._applied_zxid:#x}",
+                f"sessions: {len(self.sessions)}",
+                f"parked_reads: {len(self._parked_reads)}",
+            ]
+            return "\n".join(lines)
+        if command == "mntr":
+            lines = [
+                f"zk_server_state\t{role}",
+                f"zk_applied_zxid\t{self._applied_zxid}",
+                f"zk_epoch\t{self.broadcast.leadership_epoch}",
+                f"zk_sessions\t{len(self.sessions)}",
+            ]
+            obs = self.env.obs
+            if obs is not None:
+                lines += obs.metrics.mntr_lines(self.node_id)
+            return "\n".join(lines)
+        if command == "wchs":
+            paths, total = self.watches.counts()
+            return f"{paths} paths watched\nTotal watches: {total}"
+        return f"unknown command: {command!r}"
+
     # -- replies -----------------------------------------------------------
 
     def _reply(self, client_node: str, payload: object) -> None:
+        obs = self.env.obs
+        if obs is not None and obs.tracer is not None \
+                and isinstance(payload, ClientReply):
+            # Watch pushes are keyed by session, not xid — only request
+            # replies close a trace's server-side span.
+            obs.tracer.mark(client_node, payload.xid, M_REPLY,
+                            self.env.now, self.node_id)
         self.net.send(self.node_id, client_node, payload)
 
     def _reply_error(self, meta: RequestMeta, error: ZkError) -> None:

@@ -62,6 +62,17 @@ class WatchManager:
             for path in empty:
                 del table[path]
 
+    def counts(self) -> Tuple[int, int]:
+        """(distinct watched paths, total registrations) across both kinds.
+
+        Backs the ``wchs`` introspection command; watches are replica-
+        local, so this is the answering replica's view only.
+        """
+        paths = set(self._data_watches) | set(self._child_watches)
+        total = (sum(len(owners) for owners in self._data_watches.values())
+                 + sum(len(owners) for owners in self._child_watches.values()))
+        return len(paths), total
+
     def data_watchers(self, path: str) -> Set[int]:
         return set(self._data_watches.get(path, ()))
 

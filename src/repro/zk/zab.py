@@ -322,6 +322,9 @@ class ZabPeer(AtomicBroadcast):
         zxid = make_zxid(self.epoch, self._counter)
         record = TxnRecord(zxid=zxid, txn=txn, meta=meta)
         self.log.append(record)
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("zab.proposals", self.node_id)
         self._ack_update(self.node_id, zxid)
         self._pending_batch.append(record)
         if (len(self._pending_batch) >= self.config.batch_max_txns
@@ -474,6 +477,9 @@ class ZabPeer(AtomicBroadcast):
         if zxid_epoch(candidate) != self.epoch:
             return
         self.committed_zxid = candidate
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("zab.commits", self.node_id)
         self._deliver_committed()
         self._fan_out(Commit(self.epoch, candidate))
 
@@ -487,11 +493,17 @@ class ZabPeer(AtomicBroadcast):
     def _deliver_committed(self) -> None:
         if self._sync_pending:
             return  # log suffix unreconciled; see _sync_pending above
+        delivered = 0
         while (self._delivered_upto < len(self.log)
                and self.log[self._delivered_upto].zxid <= self.committed_zxid):
             record = self.log[self._delivered_upto]
             self._delivered_upto += 1
+            delivered += 1
             self._deliver(record)
+        if delivered:
+            obs = self.env.obs
+            if obs is not None:
+                obs.metrics.inc("zab.deliveries", self.node_id, delivered)
 
     # -- liveness ----------------------------------------------------------
 
@@ -566,6 +578,9 @@ class ZabPeer(AtomicBroadcast):
         self.leader_id = None
         self._pending_batch = []
         self._term += 1
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("zab.elections", self.node_id)
         self._votes = {self.node_id: (self.last_zxid, self.node_id)}
         self._election_pending = True
         vote = Vote(self._term, self.last_zxid, self.node_id)
@@ -688,6 +703,9 @@ class ZabPeer(AtomicBroadcast):
 
     def _finish_establishment(self) -> None:
         self._established = True
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.inc("zab.leaderships", self.node_id)
         # Commit the whole inherited log (Zab: NEW_LEADER quorum-ack implies
         # everything in the new leader's history is committed).
         if self.last_zxid > self.committed_zxid:

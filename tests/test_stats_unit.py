@@ -1,0 +1,108 @@
+"""Unit coverage for repro.sim.stats: percentile edges, summarize,
+and the IntervalThroughput window.
+
+The percentile edge cases pin the nearest-rank boundary behaviour:
+``p=0`` must be the minimum sample (the naive ``max(1, ceil(0))``
+clamp silently returned it for the wrong reason and broke down once
+the clamp was refactored), ``p=100`` the maximum, and a single-sample
+recorder must answer every percentile with that sample.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import IntervalThroughput, LatencyRecorder
+from repro.sim.stats import summarize
+
+
+def _recorder(values, now=10.0):
+    recorder = LatencyRecorder()
+    for value in values:
+        recorder.record(now=now, latency_ms=float(value))
+    return recorder
+
+
+class TestPercentileEdges:
+    def test_p0_is_minimum(self):
+        recorder = _recorder([5.0, 1.0, 9.0, 3.0])
+        assert recorder.percentile(0.0) == 1.0
+
+    def test_negative_p_clamps_to_minimum(self):
+        recorder = _recorder([5.0, 1.0, 9.0])
+        assert recorder.percentile(-10.0) == 1.0
+
+    def test_p100_is_maximum(self):
+        recorder = _recorder([5.0, 1.0, 9.0, 3.0])
+        assert recorder.percentile(100.0) == 9.0
+
+    def test_above_100_clamps_to_maximum(self):
+        recorder = _recorder([5.0, 1.0, 9.0])
+        assert recorder.percentile(150.0) == 9.0
+
+    def test_single_sample_every_percentile(self):
+        recorder = _recorder([42.0])
+        for p in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert recorder.percentile(p) == 42.0
+
+    def test_empty_recorder_is_nan(self):
+        recorder = LatencyRecorder()
+        assert math.isnan(recorder.percentile(0.0))
+        assert math.isnan(recorder.percentile(50.0))
+        assert math.isnan(recorder.percentile(100.0))
+
+    def test_interior_nearest_rank_unchanged(self):
+        recorder = _recorder(range(1, 101))
+        assert recorder.percentile(50.0) == 50.0
+        assert recorder.percentile(99.0) == 99.0
+        assert recorder.percentile(1.0) == 1.0
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        recorder = _recorder(range(1, 101))
+        summary = summarize(recorder)
+        assert summary["count"] == 100.0
+        assert summary["mean_ms"] == pytest.approx(50.5)
+        assert summary["median_ms"] == 50.0
+        assert summary["p99_ms"] == 99.0
+        assert summary["p999_ms"] == 100.0
+        assert "ops_per_second" not in summary
+
+    def test_summary_with_throughput_window(self):
+        recorder = _recorder([1.0, 2.0])
+        window = IntervalThroughput(0.0, 1000.0)
+        for now in (100.0, 200.0, 300.0):
+            window.record(now=now)
+        summary = summarize(recorder, throughput=window)
+        assert summary["ops_per_second"] == pytest.approx(3.0)
+
+    def test_summary_of_empty_recorder(self):
+        summary = summarize(LatencyRecorder())
+        assert summary["count"] == 0.0
+        assert math.isnan(summary["mean_ms"])
+        assert math.isnan(summary["p99_ms"])
+
+
+class TestIntervalThroughput:
+    def test_window_is_half_open(self):
+        window = IntervalThroughput(100.0, 600.0)
+        window.record(now=99.9)     # before: ignored
+        window.record(now=100.0)    # inclusive start
+        window.record(now=599.99)
+        window.record(now=600.0)    # exclusive end: ignored
+        assert window.completed == 2
+        assert window.ops_per_second == pytest.approx(4.0)
+
+    def test_empty_window_is_zero(self):
+        window = IntervalThroughput(0.0, 500.0)
+        assert window.completed == 0
+        assert window.ops_per_second == 0.0
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalThroughput(5.0, 5.0)
+        with pytest.raises(ValueError):
+            IntervalThroughput(10.0, 5.0)
